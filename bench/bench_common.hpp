@@ -1,0 +1,120 @@
+// Shared scaffolding for the figure-reproduction benchmarks.
+//
+// Each bench binary reproduces one table or figure of the paper at paper
+// scale. google-benchmark times the *simulator* cost of each curve (one
+// iteration per curve — the interesting output is the figure data, not
+// wall time), and after the benchmark pass the binary prints the figure
+// as the "x  y1  y2 ..." column layout the paper's plots were drawn
+// from, plus a paper-vs-measured note block consumed by EXPERIMENTS.md.
+//
+// Environment:
+//   AMDMB_QUICK=1   shrink domains/sweeps for smoke runs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "amdmb.hpp"
+#include "common/gnuplot.hpp"
+
+namespace amdmb::bench {
+
+inline bool QuickMode() {
+  const char* v = std::getenv("AMDMB_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// The figure under reproduction: curves accumulate as the benchmarks
+/// run; notes carry the paper-vs-measured comparison lines.
+class FigureSink {
+ public:
+  FigureSink(std::string id, std::string title, std::string x_label,
+             std::string y_label, std::string paper_claim)
+      : id_(std::move(id)),
+        claim_(std::move(paper_claim)),
+        set_(std::move(title), std::move(x_label), std::move(y_label)) {}
+
+  SeriesSet& Set() { return set_; }
+
+  void Note(const std::string& line) { notes_.push_back(line); }
+
+  void Print() const {
+    std::cout << "\n==== " << id_ << " ====\n";
+    std::cout << "Paper claim: " << claim_ << "\n\n";
+    std::cout << set_.RenderColumns() << "\n";
+    if (!notes_.empty()) {
+      std::cout << "Measured:\n";
+      for (const std::string& n : notes_) std::cout << "  - " << n << "\n";
+    }
+    if (const char* dir = std::getenv("AMDMB_DUMP_DIR");
+        dir != nullptr && dir[0] != '\0' && !set_.All().empty()) {
+      const auto script = WriteGnuplot(set_, dir, Slug());
+      std::cout << "Gnuplot script: " << script.string() << "\n";
+    }
+    std::cout.flush();
+  }
+
+  /// Filesystem-safe stem derived from the figure id ("Fig. 7 — ..."
+  /// -> "fig_7").
+  std::string Slug() const {
+    std::string slug;
+    for (const char c : id_) {
+      if (static_cast<unsigned char>(c) == 0xE2 || c == '-') {
+        break;  // Stop at the em-dash (UTF-8 lead byte) or hyphen.
+      }
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        slug.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+      } else if (!slug.empty() && slug.back() != '_') {
+        slug.push_back('_');
+      }
+    }
+    while (!slug.empty() && slug.back() == '_') slug.pop_back();
+    return slug.empty() ? "figure" : slug;
+  }
+
+ private:
+  std::string id_;
+  std::string claim_;
+  SeriesSet set_;
+  std::vector<std::string> notes_;
+};
+
+/// Registers one google-benchmark that runs `body` once and records the
+/// simulated seconds it reports as the "sim_seconds" counter.
+inline void RegisterCurveBenchmark(const std::string& name,
+                                   std::function<double()> body) {
+  ::benchmark::RegisterBenchmark(
+      name.c_str(),
+      [body = std::move(body)](::benchmark::State& state) {
+        double sim_seconds = 0.0;
+        for (auto _ : state) {
+          sim_seconds = body();
+          ::benchmark::DoNotOptimize(sim_seconds);
+        }
+        state.counters["sim_seconds"] = sim_seconds;
+      })
+      ->Iterations(1)
+      ->Unit(::benchmark::kMillisecond);
+}
+
+/// Standard bench main: run the registered benchmarks, then print every
+/// figure sink.
+inline int RunBenchMain(int argc, char** argv,
+                        const std::vector<const FigureSink*>& sinks) {
+  ::benchmark::Initialize(&argc, &argv[0]);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  for (const FigureSink* sink : sinks) sink->Print();
+  return 0;
+}
+
+}  // namespace amdmb::bench

@@ -1,0 +1,60 @@
+// Fig. 10: ALU:Fetch ratio for 16 inputs using global read AND global
+// write — RV770/RV870 in both modes (the paper's legend). With one
+// small output, this should be near-identical to Fig. 9.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace amdmb;
+using namespace amdmb::suite;
+using bench::FigureSink;
+
+FigureSink g_sink(
+    "Fig. 10 — ALU:Fetch Ratio for 16 Inputs using Global Read and Write",
+    "ALU:Fetch Ratio (global read + global write)", "ALU:Fetch Ratio",
+    "Time in seconds",
+    "Little difference from Fig. 9 for RV770/RV870: with a single small "
+    "output, streaming store vs global write is negligible.");
+
+AluFetchConfig Config(WritePath write) {
+  AluFetchConfig config;
+  config.read_path = ReadPath::kGlobal;
+  config.write_path = write;
+  if (bench::QuickMode()) {
+    config.domain = Domain{256, 256};
+    config.ratio_step = 1.0;
+  }
+  return config;
+}
+
+void Register() {
+  const std::vector<GpuArch> archs = {MakeRV770(), MakeRV870()};
+  for (const CurveKey& key : PaperCurves(true, true, archs)) {
+    bench::RegisterCurveBenchmark("Fig10/" + key.Name(), [key] {
+      Runner runner(key.arch);
+      const AluFetchResult global =
+          RunAluFetch(runner, key.mode, key.type, Config(WritePath::kGlobal));
+      Series& series = g_sink.Set().Get(key.Name());
+      for (const AluFetchPoint& p : global.points) {
+        series.Add(p.ratio, p.m.seconds);
+      }
+      if (key.mode == ShaderMode::kPixel) {
+        const AluFetchResult stream = RunAluFetch(runner, key.mode, key.type,
+                                                  Config(WritePath::kStream));
+        g_sink.Note(key.Name() + ": global-write vs stream-write delta " +
+                    FormatDouble(100.0 * (global.points.front().m.seconds /
+                                              stream.points.front().m.seconds -
+                                          1.0), 1) +
+                    "% in the fetch-bound region");
+      }
+      return global.points.back().m.seconds;
+    });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+}

@@ -1,0 +1,47 @@
+// Fig. 12: global read latency — time vs number of inputs (2..18) with
+// inputs read from uncached global memory, all ten paper curves.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace amdmb;
+using namespace amdmb::suite;
+using bench::FigureSink;
+
+FigureSink g_sink(
+    "Fig. 12 — Global Read Latency", "Global Read Latency",
+    "Number of Inputs", "Time in seconds",
+    "Linear; dramatic improvement from RV670 to RV770/RV870; roughly the "
+    "same for float and float4 and for pixel vs compute mode — the GPU "
+    "is becoming more generalized with each generation.");
+
+ReadLatencyConfig Config() {
+  ReadLatencyConfig config;
+  config.read_path = ReadPath::kGlobal;
+  if (bench::QuickMode()) config.domain = Domain{256, 256};
+  return config;
+}
+
+void Register() {
+  for (const CurveKey& key : PaperCurves()) {
+    bench::RegisterCurveBenchmark("Fig12/" + key.Name(), [key] {
+      Runner runner(key.arch);
+      const ReadLatencyResult r =
+          RunReadLatency(runner, key.mode, key.type, Config());
+      Series& series = g_sink.Set().Get(key.Name());
+      for (const ReadLatencyPoint& p : r.points) {
+        series.Add(p.inputs, p.m.seconds);
+      }
+      g_sink.Note(key.Name() + ": slope " + FormatDouble(r.fit.slope, 3) +
+                  " s/input, R^2 " + FormatDouble(r.fit.r2, 3));
+      return r.points.back().m.seconds;
+    });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+}

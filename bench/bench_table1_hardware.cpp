@@ -1,0 +1,42 @@
+// Table I: GPU hardware features, rendered from the machine
+// descriptions, plus derived execution-model identities the paper quotes
+// (800 ALUs = 10 SIMDs x 16 TPs x 5 lanes; 256 GPRs per thread; 51
+// wavefronts at 5 GPRs).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace amdmb;
+using bench::FigureSink;
+
+FigureSink g_sink("Table I", "GPU Hardware Features", "row", "value",
+                  "RV670/RV770/RV870 core configuration as tested on the "
+                  "3870/4870/5870 boards.");
+
+void Register() {
+  bench::RegisterCurveBenchmark("TableI/render", [] {
+    std::cout << RenderHardwareTable() << "\n";
+    for (const GpuArch& arch : AllArchs()) {
+      g_sink.Note(arch.name + ": " +
+                  std::to_string(arch.thread_processors_per_simd) + " TPs x " +
+                  std::to_string(arch.vliw_width) + " lanes x " +
+                  std::to_string(arch.simd_engines) + " SIMDs = " +
+                  std::to_string(arch.alu_count) + " ALUs; " +
+                  std::to_string(arch.tex_units_per_simd) +
+                  " texture units/SIMD; compute shader: " +
+                  (arch.supports_compute ? "yes" : "no"));
+    }
+    const GpuArch rv770 = MakeRV770();
+    g_sink.Note("RV770 occupancy check (paper Sec. II-B): 5-GPR kernel -> " +
+                std::to_string(TheoreticalWavefronts(rv770, 5)) +
+                " theoretical wavefronts (paper: 51)");
+    return 0.0;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+}

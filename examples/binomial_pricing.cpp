@@ -1,0 +1,88 @@
+// Binomial option pricing (paper Sec. IV-A).
+//
+// "The Binomial Option Pricing sample has several kernels that are ALU
+// bound ... these ALU bound kernels can benefit from added fetches
+// and/or outputs": this example builds an ALU-heavy lattice-step kernel
+// (long dependent chains of MAD/transcendental work per option), shows
+// it is ALU-bound, then demonstrates the paper's point by adding extra
+// input streams — the runtime does not move until the added fetch work
+// finally flips the bottleneck.
+#include <iostream>
+
+#include "amdmb.hpp"
+
+namespace {
+
+using namespace amdmb;
+
+/// One backward-induction step over a `depth`-level binomial lattice:
+/// fetch the option parameters, then a dependent chain of MADs
+/// (discounted expectation per level) with a transcendental thrown in
+/// per 16 levels (the exp() in the discount factor).
+il::Kernel BinomialKernel(unsigned inputs, unsigned depth) {
+  il::Signature sig;
+  sig.inputs = inputs;
+  sig.outputs = 1;
+  sig.constants = 2;  // up/down probabilities.
+  sig.type = DataType::kFloat;
+  sig.read_path = ReadPath::kTexture;
+  sig.write_path = WritePath::kStream;
+  il::Builder b("binomial_d" + std::to_string(depth), sig);
+
+  std::vector<unsigned> fetched;
+  for (unsigned i = 0; i < inputs; ++i) fetched.push_back(b.Fetch(i));
+  // Seed the lattice value from the fetched parameters.
+  unsigned value = b.Add(il::Operand::Reg(fetched[0]),
+                         il::Operand::Reg(fetched[1]));
+  for (std::size_t i = 2; i < fetched.size(); ++i) {
+    value = b.Add(il::Operand::Reg(value), il::Operand::Reg(fetched[i]));
+  }
+  for (unsigned level = 0; level < depth; ++level) {
+    // v = p_up * v + v_prev (discounted expectation).
+    value = b.Mad(il::Operand::Const(0), il::Operand::Reg(value),
+                  il::Operand::Reg(value));
+    if (level % 16 == 15) {
+      value = b.Alu1(il::Opcode::kRcp, il::Operand::Reg(value));
+    }
+  }
+  b.Write(0, value);
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace amdmb;
+  const cal::Device device = cal::Device::Open("4870");
+  cal::Context ctx(device);
+  suite::Runner runner(device.Info());
+  std::cout << "Binomial option pricing boundedness (paper Sec. IV-A) on "
+            << device.Info().card << "\n\n";
+
+  sim::LaunchConfig launch;
+  launch.domain = Domain{1024, 1024};
+
+  const unsigned depth = 256;
+  double baseline = 0.0;
+  std::cout << "inputs  time(s)  bound   ALU:Fetch  (extra fetches vs "
+               "baseline runtime)\n";
+  for (const unsigned inputs : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const suite::Measurement m =
+        runner.Measure(BinomialKernel(inputs, depth), launch);
+    if (inputs == 2) baseline = m.seconds;
+    std::cout << "  " << inputs << (inputs < 10 ? "     " : "    ")
+              << FormatDouble(m.seconds, 2) << "    "
+              << sim::ToString(m.stats.bottleneck) << "     "
+              << FormatDouble(m.ska.alu_fetch_ratio, 2) << "      "
+              << FormatDouble(100.0 * (m.seconds / baseline - 1.0), 1)
+              << "% slower\n";
+  }
+
+  std::cout <<
+      "\nReading: while the kernel stays ALU-bound, extra input fetches are\n"
+      "essentially free — the fetch units were idle. Merging a low-intensity\n"
+      "fetch-heavy kernel into this one (kernel merging, Sec. IV-A) uses\n"
+      "the whole GPU. Only when the added fetches finally dominate does\n"
+      "the bound flip and the runtime climb.\n";
+  return 0;
+}

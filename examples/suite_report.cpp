@@ -1,0 +1,22 @@
+// Runs the condensed end-to-end micro-benchmark suite and prints the
+// report: Table I, ALU:Fetch crossovers, read/write latency slopes, and
+// the register-pressure effect, each annotated with the paper's claim.
+//
+// Run:  ./example_suite_report [--quick] [gpu-name]
+#include <cstring>
+#include <iostream>
+
+#include "amdmb.hpp"
+
+int main(int argc, char** argv) {
+  amdmb::suite::SuiteOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else {
+      options.arch_filter = argv[i];
+    }
+  }
+  std::cout << amdmb::suite::RunFullSuiteReport(options);
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "arch/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace amdmb {
+
+unsigned TheoreticalWavefronts(const GpuArch& arch, unsigned gpr_count) {
+  Require(gpr_count > 0, "occupancy: kernel must use at least one GPR");
+  return std::max(1u, arch.gpr_budget_per_thread / gpr_count);
+}
+
+unsigned WavefrontsPerSimd(const GpuArch& arch, unsigned gpr_count) {
+  return std::min(arch.max_wavefronts_per_simd,
+                  TheoreticalWavefronts(arch, gpr_count));
+}
+
+bool SingleSlotPenaltyApplies(unsigned resident_wavefronts) {
+  return resident_wavefronts < 2;
+}
+
+}  // namespace amdmb

@@ -1,0 +1,25 @@
+// Wavefront occupancy: how many wavefronts can be simultaneously resident
+// on one SIMD engine given a kernel's general-purpose register usage
+// (paper Sec. II-B: 16kB register file / 64 threads = 256 GPRs per thread;
+// a 5-GPR kernel can schedule 256/5 = 51 wavefronts, subject to the
+// hardware cap).
+#pragma once
+
+#include "arch/gpu_arch.hpp"
+
+namespace amdmb {
+
+/// Wavefronts resident per SIMD for a kernel using `gpr_count` registers.
+/// Never below 1 (a kernel always runs); clamped to the scheduler cap.
+unsigned WavefrontsPerSimd(const GpuArch& arch, unsigned gpr_count);
+
+/// The theoretical (uncapped) wavefront count, as the paper computes it
+/// ("256/5 = 51 wavefronts scheduled").
+unsigned TheoreticalWavefronts(const GpuArch& arch, unsigned gpr_count);
+
+/// True when only one wavefront is resident, i.e. only one of the odd/even
+/// thread-processor slots is occupied and ALU throughput halves
+/// (paper Sec. II-A).
+bool SingleSlotPenaltyApplies(unsigned resident_wavefronts);
+
+}  // namespace amdmb

@@ -1,0 +1,26 @@
+#include "cal/cal.hpp"
+
+namespace amdmb::cal {
+
+Device Device::Open(std::string_view name) {
+  return Device(ArchByName(name));
+}
+
+Context::Context(const Device& device)
+    : gpu_(std::make_unique<sim::Gpu>(device.Info())) {}
+
+Module Context::Compile(const il::Kernel& kernel) const {
+  isa::Program program = compiler::Compile(kernel, gpu_->Arch());
+  const compiler::SkaReport ska = compiler::Analyze(program, gpu_->Arch());
+  return Module(std::move(program), ska);
+}
+
+RunEvent Context::Run(const Module& module, const sim::LaunchConfig& config,
+                      sim::Trace* trace) {
+  RunEvent event;
+  event.stats = gpu_->Execute(module.Program(), config, trace);
+  event.seconds = event.stats.seconds;
+  return event;
+}
+
+}  // namespace amdmb::cal

@@ -1,0 +1,78 @@
+// CAL-style runtime facade.
+//
+// The paper's suite is written against AMD's Compute Abstraction Layer:
+// open a device, create a context, compile an IL kernel to a module,
+// bind resources, run over a domain, and read a timer event. This module
+// reproduces that workflow on top of the simulator so the suite and the
+// examples read like the original StreamSDK code.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "arch/gpu_arch.hpp"
+#include "compiler/compiler.hpp"
+#include "compiler/ska.hpp"
+#include "il/il.hpp"
+#include "sim/gpu.hpp"
+#include "sim/trace.hpp"
+
+namespace amdmb::cal {
+
+/// An opened GPU (one of the three generations in Table I).
+class Device {
+ public:
+  explicit Device(GpuArch arch) : arch_(std::move(arch)) {}
+
+  /// Opens by chip or card name ("RV770", "4870", ...).
+  static Device Open(std::string_view name);
+
+  const GpuArch& Info() const { return arch_; }
+  bool SupportsComputeShader() const { return arch_.supports_compute; }
+
+ private:
+  GpuArch arch_;
+};
+
+/// A compiled kernel plus its static analysis.
+class Module {
+ public:
+  Module(isa::Program program, compiler::SkaReport ska)
+      : program_(std::move(program)), ska_(ska) {}
+
+  const isa::Program& Program() const { return program_; }
+  const compiler::SkaReport& Ska() const { return ska_; }
+  std::string Disassemble() const { return isa::Disassemble(program_); }
+
+ private:
+  isa::Program program_;
+  compiler::SkaReport ska_;
+};
+
+/// Result of a kernel run: the timer value the paper reports (seconds for
+/// all repetitions) plus the simulator's dynamic counters.
+struct RunEvent {
+  double seconds = 0.0;
+  sim::KernelStats stats;
+};
+
+class Context {
+ public:
+  explicit Context(const Device& device);
+
+  /// Compiles IL through the CAL compiler (verification included).
+  Module Compile(const il::Kernel& kernel) const;
+
+  /// Launches the module over the configured domain and reads the timer.
+  /// When `trace` is non-null, every executed clause is recorded.
+  RunEvent Run(const Module& module, const sim::LaunchConfig& config,
+               sim::Trace* trace = nullptr);
+
+  const GpuArch& Arch() const { return gpu_->Arch(); }
+
+ private:
+  std::unique_ptr<sim::Gpu> gpu_;
+};
+
+}  // namespace amdmb::cal

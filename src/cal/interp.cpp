@@ -1,0 +1,201 @@
+#include "cal/interp.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "common/status.hpp"
+
+namespace amdmb::cal {
+
+namespace {
+
+Vec4 Splat(float v) { return {v, v, v, v}; }
+
+Vec4 ApplyOp(il::Opcode op, const std::vector<Vec4>& srcs) {
+  auto bin = [&](auto f) {
+    Vec4 r;
+    for (int c = 0; c < 4; ++c) r[c] = f(srcs[0][c], srcs[1][c]);
+    return r;
+  };
+  switch (op) {
+    case il::Opcode::kAdd:
+      return bin([](float a, float b) { return a + b; });
+    case il::Opcode::kSub:
+      return bin([](float a, float b) { return a - b; });
+    case il::Opcode::kMul:
+      return bin([](float a, float b) { return a * b; });
+    case il::Opcode::kMad: {
+      Vec4 r;
+      for (int c = 0; c < 4; ++c) r[c] = srcs[0][c] * srcs[1][c] + srcs[2][c];
+      return r;
+    }
+    case il::Opcode::kMov:
+      return srcs[0];
+    case il::Opcode::kRcp: {
+      Vec4 r;
+      for (int c = 0; c < 4; ++c) r[c] = 1.0f / srcs[0][c];
+      return r;
+    }
+    case il::Opcode::kSin: {
+      Vec4 r;
+      for (int c = 0; c < 4; ++c) r[c] = std::sin(srcs[0][c]);
+      return r;
+    }
+    default:
+      throw SimError("ApplyOp: not an ALU opcode");
+  }
+}
+
+Vec4 ConstAt(const std::vector<Vec4>& constants, unsigned slot) {
+  Check(slot < constants.size(), "interpreter: constant slot out of range");
+  return constants[slot];
+}
+
+}  // namespace
+
+Vec4 DefaultInputPattern(unsigned resource, unsigned x, unsigned y) {
+  const auto base = static_cast<float>(
+      (resource * 31u + x * 7u + y * 13u) % 97u);
+  return {base, base + 1.0f, base + 2.0f, base + 3.0f};
+}
+
+FuncResult RunIl(const il::Kernel& kernel, const Domain& domain,
+                 const InputFn& input, const std::vector<Vec4>& constants) {
+  FuncResult result;
+  result.outputs.assign(kernel.sig.outputs,
+                        OutputBuffer(domain.ThreadCount(), Splat(0.0f)));
+  unsigned max_reg = 0;
+  for (const il::Inst& inst : kernel.code) {
+    if (il::IsFetch(inst.op) || il::IsAlu(inst.op)) {
+      max_reg = std::max(max_reg, inst.dst + 1);
+    }
+  }
+  std::vector<Vec4> regs(max_reg);
+  for (unsigned y = 0; y < domain.height; ++y) {
+    for (unsigned x = 0; x < domain.width; ++x) {
+      const std::size_t elem = static_cast<std::size_t>(y) * domain.width + x;
+      for (const il::Inst& inst : kernel.code) {
+        if (il::IsMeta(inst.op)) continue;
+        if (il::IsFetch(inst.op)) {
+          regs[inst.dst] = input(inst.resource, x, y);
+        } else if (il::IsWrite(inst.op)) {
+          Check(inst.srcs.front().kind == il::OperandKind::kVirtualReg,
+                "RunIl: write source must be a register");
+          result.outputs[inst.resource][elem] = regs[inst.srcs.front().index];
+        } else {
+          std::vector<Vec4> srcs;
+          srcs.reserve(inst.srcs.size());
+          for (const il::Operand& src : inst.srcs) {
+            switch (src.kind) {
+              case il::OperandKind::kVirtualReg:
+                srcs.push_back(regs[src.index]);
+                break;
+              case il::OperandKind::kConstBuf:
+                srcs.push_back(ConstAt(constants, src.index));
+                break;
+              case il::OperandKind::kLiteral:
+                srcs.push_back(Splat(src.literal));
+                break;
+            }
+          }
+          regs[inst.dst] = ApplyOp(inst.op, srcs);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+FuncResult RunIsa(const isa::Program& program, const Domain& domain,
+                  const InputFn& input, const std::vector<Vec4>& constants) {
+  FuncResult result;
+  result.outputs.assign(program.sig.outputs,
+                        OutputBuffer(domain.ThreadCount(), Splat(0.0f)));
+
+  std::vector<Vec4> gprs(std::max(1u, program.gpr_count));
+  // Clause temporaries and PV lanes carry validity so that reads of
+  // values that should not survive (across clauses / bundles) fault.
+  std::array<std::optional<Vec4>, 8> temps;
+  std::array<std::optional<Vec4>, 5> pv_prev;
+
+  auto read = [&](const isa::PhysOperand& src) -> Vec4 {
+    switch (src.loc) {
+      case isa::Loc::kGpr:
+        Check(src.index < gprs.size(), "RunIsa: GPR index out of range");
+        return gprs[src.index];
+      case isa::Loc::kPv:
+        Check(src.index < pv_prev.size() && pv_prev[src.index].has_value(),
+              "RunIsa: PV read without a previous-bundle value");
+        return *pv_prev[src.index];
+      case isa::Loc::kTemp:
+        Check(src.index < temps.size() && temps[src.index].has_value(),
+              "RunIsa: clause-temp read outside its clause");
+        return *temps[src.index];
+      case isa::Loc::kConst:
+        return ConstAt(constants, src.index);
+      case isa::Loc::kLiteral:
+        return Splat(src.literal);
+    }
+    throw SimError("RunIsa: unknown operand location");
+  };
+
+  for (unsigned y = 0; y < domain.height; ++y) {
+    for (unsigned x = 0; x < domain.width; ++x) {
+      const std::size_t elem = static_cast<std::size_t>(y) * domain.width + x;
+      for (const isa::Clause& clause : program.clauses) {
+        // Clause boundary: temporaries and PV do not survive.
+        temps.fill(std::nullopt);
+        pv_prev.fill(std::nullopt);
+        switch (clause.type) {
+          case isa::ClauseType::kTex:
+          case isa::ClauseType::kMemRead:
+            for (const isa::FetchInst& f : clause.fetches) {
+              Check(f.dst.loc == isa::Loc::kGpr,
+                    "RunIsa: fetch destination must be a GPR");
+              gprs[f.dst.index] = input(f.resource, x, y);
+            }
+            break;
+          case isa::ClauseType::kAlu:
+            for (const isa::Bundle& bundle : clause.bundles) {
+              std::array<std::optional<Vec4>, 5> pv_next;
+              for (const isa::MicroOp& op : bundle.ops) {
+                std::vector<Vec4> srcs;
+                srcs.reserve(op.srcs.size());
+                for (const isa::PhysOperand& s : op.srcs) srcs.push_back(read(s));
+                const Vec4 value = ApplyOp(op.op, srcs);
+                switch (op.dst.loc) {
+                  case isa::Loc::kGpr:
+                    gprs[op.dst.index] = value;
+                    break;
+                  case isa::Loc::kTemp:
+                    Check(op.dst.index < temps.size(),
+                          "RunIsa: temp index out of range");
+                    temps[op.dst.index] = value;
+                    break;
+                  case isa::Loc::kPv:
+                    break;  // Captured below via pv_next.
+                  default:
+                    throw SimError("RunIsa: invalid ALU destination");
+                }
+                Check(op.lane < pv_next.size(), "RunIsa: bad lane");
+                pv_next[op.lane] = value;
+              }
+              pv_prev = pv_next;
+            }
+            break;
+          case isa::ClauseType::kExport:
+          case isa::ClauseType::kMemWrite:
+            for (const isa::WriteInst& w : clause.writes) {
+              Check(w.src.loc == isa::Loc::kGpr,
+                    "RunIsa: write source must be a GPR");
+              result.outputs[w.resource][elem] = gprs[w.src.index];
+            }
+            break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace amdmb::cal

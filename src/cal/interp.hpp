@@ -1,0 +1,46 @@
+// Functional execution of kernels on the CPU.
+//
+// Two interpreters with identical observable semantics:
+//  * RunIl  — executes the IL program directly over virtual registers;
+//  * RunIsa — executes the compiled clause/VLIW program with physical
+//    GPRs, PV previous-vector forwarding, and clause-temporary registers
+//    (which are invalidated at clause boundaries, as on hardware).
+// Comparing their outputs validates the whole compiler pipeline: clause
+// formation, VLIW packing, PV lane resolution, and register allocation.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "compiler/isa.hpp"
+#include "il/il.hpp"
+
+namespace amdmb::cal {
+
+using Vec4 = std::array<float, 4>;
+
+/// Value of input `resource` at domain element (x, y).
+using InputFn = std::function<Vec4(unsigned resource, unsigned x, unsigned y)>;
+
+/// Deterministic small-integer default pattern (sums stay exact in
+/// float arithmetic through long add chains).
+Vec4 DefaultInputPattern(unsigned resource, unsigned x, unsigned y);
+
+/// One output stream: row-major Vec4 per domain element.
+using OutputBuffer = std::vector<Vec4>;
+
+struct FuncResult {
+  std::vector<OutputBuffer> outputs;  ///< One buffer per declared output.
+};
+
+FuncResult RunIl(const il::Kernel& kernel, const Domain& domain,
+                 const InputFn& input = DefaultInputPattern,
+                 const std::vector<Vec4>& constants = {});
+
+FuncResult RunIsa(const isa::Program& program, const Domain& domain,
+                  const InputFn& input = DefaultInputPattern,
+                  const std::vector<Vec4>& constants = {});
+
+}  // namespace amdmb::cal

@@ -1,0 +1,58 @@
+#include "common/gnuplot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace amdmb {
+
+std::string GnuplotScript(const SeriesSet& set, const std::string& dat_file,
+                          const std::string& output_file) {
+  std::ostringstream os;
+  os << "set terminal svg size 900,600\n"
+     << "set output '" << output_file << "'\n"
+     << "set title \"" << set.Title() << "\"\n"
+     << "set key outside right\n"
+     << "set grid\n"
+     << "plot";
+  const auto& all = set.All();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i) os << ",";
+    // Column 1 is x; series i is column i+2. Header lines in the .dat
+    // are written as gnuplot comments.
+    os << " \\\n  '" << dat_file << "' using 1:" << (i + 2)
+       << " with linespoints title \"" << all[i].Name() << "\"";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::filesystem::path WriteGnuplot(const SeriesSet& set,
+                                   const std::filesystem::path& directory,
+                                   const std::string& stem) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  Require(!ec, "WriteGnuplot: cannot create directory " + directory.string());
+
+  const std::filesystem::path dat = directory / (stem + ".dat");
+  const std::filesystem::path gp = directory / (stem + ".gp");
+  {
+    std::ofstream out(dat);
+    Require(out.good(), "WriteGnuplot: cannot open " + dat.string());
+    // Comment the column-name line so gnuplot skips it like the title.
+    const std::string columns = set.RenderColumns();
+    const std::size_t first_newline = columns.find('\n');
+    Check(first_newline != std::string::npos, "WriteGnuplot: empty figure");
+    out << columns.substr(0, first_newline + 1) << "# "
+        << columns.substr(first_newline + 1);
+  }
+  {
+    std::ofstream out(gp);
+    Require(out.good(), "WriteGnuplot: cannot open " + gp.string());
+    out << GnuplotScript(set, dat.filename().string(), stem + ".svg");
+  }
+  return gp;
+}
+
+}  // namespace amdmb

@@ -1,0 +1,27 @@
+// Gnuplot emission for reproduced figures.
+//
+// The paper's plots are classic gnuplot line charts; given a SeriesSet
+// this module writes the `.dat` column file plus a ready-to-run `.gp`
+// script so `gnuplot fig07.gp` regenerates the figure as SVG. The bench
+// binaries call this when AMDMB_DUMP_DIR is set.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "common/series.hpp"
+
+namespace amdmb {
+
+/// Writes `<stem>.dat` and `<stem>.gp` under `directory` (created if
+/// missing) and returns the script path. Throws ConfigError on I/O
+/// failure.
+std::filesystem::path WriteGnuplot(const SeriesSet& set,
+                                   const std::filesystem::path& directory,
+                                   const std::string& stem);
+
+/// The script text alone (for tests and embedding).
+std::string GnuplotScript(const SeriesSet& set, const std::string& dat_file,
+                          const std::string& output_file);
+
+}  // namespace amdmb

@@ -1,0 +1,49 @@
+// Deterministic xorshift128+ pseudo-random generator.
+//
+// The simulator must be bit-reproducible across runs, so all stochastic
+// choices (e.g. synthetic Monte-Carlo workloads in the examples) draw from
+// this explicitly-seeded generator rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace amdmb {
+
+class XorShift128 {
+ public:
+  explicit constexpr XorShift128(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : s0_(seed ? seed : 1u), s1_(SplitMix(seed)) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t Next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t NextBelow(std::uint64_t bound) {
+    return Next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static constexpr std::uint64_t SplitMix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return (x ^ (x >> 31)) | 1u;
+  }
+
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace amdmb

@@ -1,0 +1,69 @@
+// Named (x, y) data series, the unit of output for every figure
+// reproduction. A SeriesSet holds all curves of one figure (e.g. the ten
+// "<card> <mode> <type>" curves of Fig. 7) and can render them as the
+// column layout gnuplot consumed in the original paper, or as CSV.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace amdmb {
+
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void Add(double x, double y) { points_.push_back({x, y}); }
+
+  const std::string& Name() const { return name_; }
+  const std::vector<SeriesPoint>& Points() const { return points_; }
+  bool Empty() const { return points_.empty(); }
+
+  std::vector<double> Xs() const;
+  std::vector<double> Ys() const;
+
+  /// y at the given x, if a point with that exact x exists.
+  std::optional<double> At(double x) const;
+
+ private:
+  std::string name_;
+  std::vector<SeriesPoint> points_;
+};
+
+/// A collection of curves sharing one x-axis (one paper figure).
+class SeriesSet {
+ public:
+  SeriesSet(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  /// Returns the series with this name, creating it if absent.
+  Series& Get(const std::string& name);
+
+  const Series* Find(const std::string& name) const;
+  const std::vector<Series>& All() const { return series_; }
+  const std::string& Title() const { return title_; }
+
+  /// Renders "x  y1  y2 ..." columns with a header naming each curve —
+  /// the layout the paper's gnuplot scripts consumed. Curves with
+  /// different x grids render blank cells for missing points.
+  std::string RenderColumns(int precision = 4) const;
+
+  /// Comma-separated version of RenderColumns for machine consumption.
+  std::string RenderCsv(int precision = 6) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace amdmb

@@ -1,0 +1,23 @@
+#include "common/status.hpp"
+
+#include <sstream>
+
+namespace amdmb {
+
+namespace detail {
+
+void ThrowCheckFailure(std::string_view expr, std::string_view message,
+                       const std::source_location& loc) {
+  std::ostringstream os;
+  os << expr << " failed at " << loc.file_name() << ":" << loc.line();
+  if (!message.empty()) os << ": " << message;
+  throw SimError(os.str());
+}
+
+}  // namespace detail
+
+void Require(bool ok, std::string_view message) {
+  if (!ok) throw ConfigError(std::string(message));
+}
+
+}  // namespace amdmb

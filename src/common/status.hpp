@@ -1,0 +1,46 @@
+// Error-reporting helpers: invariant checks that throw structured errors.
+//
+// The simulator is a research tool; a violated invariant means a modelling
+// bug, so we fail fast with a descriptive exception instead of continuing
+// with a corrupt machine state.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace amdmb {
+
+/// Thrown when a simulator invariant is violated.
+class SimError : public std::logic_error {
+ public:
+  explicit SimError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a user-supplied configuration is invalid (bad kernel spec,
+/// impossible machine description, ...).
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] void ThrowCheckFailure(std::string_view expr,
+                                    std::string_view message,
+                                    const std::source_location& loc);
+}  // namespace detail
+
+/// Verifies a simulator invariant; throws SimError with location info on
+/// failure. Used instead of assert() so Release builds keep the checks.
+inline void Check(bool ok, std::string_view message = {},
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  if (!ok) detail::ThrowCheckFailure("Check", message, loc);
+}
+
+/// Validates a user-facing precondition; throws ConfigError on failure.
+void Require(bool ok, std::string_view message);
+
+}  // namespace amdmb

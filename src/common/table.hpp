@@ -1,0 +1,31 @@
+// Minimal ASCII table renderer for bench/example output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace amdmb {
+
+/// Column-aligned text table. Rows may be added cell-by-cell; rendering
+/// pads every column to its widest cell. Used to print Table I and the
+/// per-figure result tables in the paper's layout.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table including a separator under the header.
+  std::string Render() const;
+
+  std::size_t RowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace amdmb

@@ -1,0 +1,95 @@
+// Fundamental value types shared by every amdmb module.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace amdmb {
+
+/// Simulated GPU core cycles.
+using Cycles = std::uint64_t;
+
+/// Bytes of simulated storage or traffic.
+using Bytes = std::uint64_t;
+
+/// Element type of a kernel input/output stream.
+///
+/// The paper runs every micro-benchmark for both `float` and `float4`
+/// (Sec. IV): vectorization changes the bytes moved per fetch/store but,
+/// because the generated kernels are fully data-dependent chains, it does
+/// not change the VLIW bundle count.
+enum class DataType : std::uint8_t {
+  kFloat,   ///< 32-bit scalar stream element.
+  kFloat4,  ///< 128-bit 4-vector stream element.
+};
+
+/// Execution mode of a kernel launch (paper Sec. II).
+///
+/// Pixel shader mode dispatches threads through the rasterizer in a tiled
+/// 2-D order and may write color buffers with streaming (burst) stores.
+/// Compute shader mode dispatches linearly with a programmer-chosen block
+/// size and can only write global memory.
+enum class ShaderMode : std::uint8_t {
+  kPixel,
+  kCompute,
+};
+
+/// Where a kernel reads its inputs from.
+enum class ReadPath : std::uint8_t {
+  kTexture,  ///< Cached texture-sampler path (SAMPLE).
+  kGlobal,   ///< Uncached global memory read.
+};
+
+/// Where a kernel writes its outputs to.
+enum class WritePath : std::uint8_t {
+  kStream,  ///< Pixel-shader color buffers (streaming/burst store).
+  kGlobal,  ///< Uncached global memory write.
+};
+
+/// Bytes occupied by one element of a stream of type `t`.
+constexpr Bytes ElementBytes(DataType t) {
+  return t == DataType::kFloat ? 4u : 16u;
+}
+
+/// Number of 32-bit components in one element of type `t`.
+constexpr unsigned ComponentCount(DataType t) {
+  return t == DataType::kFloat ? 1u : 4u;
+}
+
+constexpr std::string_view ToString(DataType t) {
+  return t == DataType::kFloat ? "Float" : "Float4";
+}
+
+constexpr std::string_view ToString(ShaderMode m) {
+  return m == ShaderMode::kPixel ? "Pixel" : "Compute";
+}
+
+constexpr std::string_view ToString(ReadPath p) {
+  return p == ReadPath::kTexture ? "Texture" : "Global";
+}
+
+constexpr std::string_view ToString(WritePath p) {
+  return p == WritePath::kStream ? "Stream" : "Global";
+}
+
+/// A rectangular execution domain (paper: "domain size", e.g. 1024x1024).
+struct Domain {
+  unsigned width = 0;
+  unsigned height = 0;
+
+  constexpr std::uint64_t ThreadCount() const {
+    return static_cast<std::uint64_t>(width) * height;
+  }
+  constexpr bool operator==(const Domain&) const = default;
+};
+
+/// Thread-block shape used by compute-shader dispatch (e.g. 64x1, 4x16).
+struct BlockShape {
+  unsigned x = 64;
+  unsigned y = 1;
+
+  constexpr unsigned ThreadCount() const { return x * y; }
+  constexpr bool operator==(const BlockShape&) const = default;
+};
+
+}  // namespace amdmb

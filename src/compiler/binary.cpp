@@ -1,0 +1,231 @@
+#include "compiler/binary.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace amdmb::compiler {
+
+namespace {
+
+// ---- Encoding ------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(BinaryImage& out) : out_(out) {}
+
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void F32(float v) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U32(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+ private:
+  BinaryImage& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const BinaryImage& in) : in_(in) {}
+
+  std::uint8_t U8() {
+    Require(pos_ + 1 <= in_.size(), "ISA image truncated");
+    return in_[pos_++];
+  }
+  std::uint32_t U32() {
+    Require(pos_ + 4 <= in_.size(), "ISA image truncated");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  float F32() {
+    const std::uint32_t bits = U32();
+    float v = 0.0f;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const std::uint32_t size = U32();
+    Require(pos_ + size <= in_.size(), "ISA image truncated in string");
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), size);
+    pos_ += size;
+    return s;
+  }
+  bool AtEnd() const { return pos_ == in_.size(); }
+
+ private:
+  const BinaryImage& in_;
+  std::size_t pos_ = 0;
+};
+
+template <typename Enum>
+std::uint8_t EncodeEnum(Enum e) {
+  return static_cast<std::uint8_t>(e);
+}
+
+template <typename Enum>
+Enum DecodeEnum(std::uint8_t raw, std::uint8_t max_value,
+                const char* what) {
+  Require(raw <= max_value, std::string("ISA image: invalid ") + what);
+  return static_cast<Enum>(raw);
+}
+
+void EncodeOperand(Writer& w, const isa::PhysOperand& op) {
+  w.U8(EncodeEnum(op.loc));
+  w.U32(op.index);
+  w.F32(op.literal);
+}
+
+isa::PhysOperand DecodeOperand(Reader& r) {
+  isa::PhysOperand op;
+  op.loc = DecodeEnum<isa::Loc>(r.U8(), 4, "operand location");
+  op.index = r.U32();
+  op.literal = r.F32();
+  return op;
+}
+
+}  // namespace
+
+BinaryImage Encode(const isa::Program& program) {
+  BinaryImage out;
+  Writer w(out);
+  w.U32(kBinaryMagic);
+  w.U32(kBinaryVersion);
+  w.Str(program.name);
+  w.U32(program.sig.inputs);
+  w.U32(program.sig.outputs);
+  w.U32(program.sig.constants);
+  w.U8(EncodeEnum(program.sig.type));
+  w.U8(EncodeEnum(program.sig.read_path));
+  w.U8(EncodeEnum(program.sig.write_path));
+  w.U32(program.gpr_count);
+  w.U32(program.stats.alu_ops);
+  w.U32(program.stats.alu_bundles);
+  w.U32(program.stats.tex_fetches);
+  w.U32(program.stats.global_reads);
+  w.U32(program.stats.writes);
+  w.U32(program.stats.clause_count);
+
+  w.U32(static_cast<std::uint32_t>(program.clauses.size()));
+  for (const isa::Clause& clause : program.clauses) {
+    w.U8(EncodeEnum(clause.type));
+    w.U32(static_cast<std::uint32_t>(clause.fetches.size()));
+    for (const isa::FetchInst& f : clause.fetches) {
+      w.U32(f.resource);
+      EncodeOperand(w, f.dst);
+      w.U32(f.virtual_reg);
+    }
+    w.U32(static_cast<std::uint32_t>(clause.bundles.size()));
+    for (const isa::Bundle& bundle : clause.bundles) {
+      w.U32(static_cast<std::uint32_t>(bundle.ops.size()));
+      for (const isa::MicroOp& op : bundle.ops) {
+        w.U8(static_cast<std::uint8_t>(op.op));
+        w.U8(static_cast<std::uint8_t>(op.lane));
+        w.U8(op.vec4 ? 1 : 0);
+        EncodeOperand(w, op.dst);
+        w.U32(op.virtual_reg);
+        w.U32(static_cast<std::uint32_t>(op.srcs.size()));
+        for (const isa::PhysOperand& src : op.srcs) EncodeOperand(w, src);
+      }
+    }
+    w.U32(static_cast<std::uint32_t>(clause.writes.size()));
+    for (const isa::WriteInst& wr : clause.writes) {
+      w.U32(wr.resource);
+      EncodeOperand(w, wr.src);
+    }
+  }
+  return out;
+}
+
+isa::Program Decode(const BinaryImage& image) {
+  Reader r(image);
+  Require(r.U32() == kBinaryMagic, "ISA image: bad magic");
+  Require(r.U32() == kBinaryVersion, "ISA image: unsupported version");
+
+  isa::Program program;
+  program.name = r.Str();
+  program.sig.inputs = r.U32();
+  program.sig.outputs = r.U32();
+  program.sig.constants = r.U32();
+  program.sig.type = DecodeEnum<DataType>(r.U8(), 1, "data type");
+  program.sig.read_path = DecodeEnum<ReadPath>(r.U8(), 1, "read path");
+  program.sig.write_path = DecodeEnum<WritePath>(r.U8(), 1, "write path");
+  program.gpr_count = r.U32();
+  Require(program.gpr_count <= 256, "ISA image: GPR count out of range");
+  program.stats.alu_ops = r.U32();
+  program.stats.alu_bundles = r.U32();
+  program.stats.tex_fetches = r.U32();
+  program.stats.global_reads = r.U32();
+  program.stats.writes = r.U32();
+  program.stats.clause_count = r.U32();
+
+  const std::uint32_t clause_count = r.U32();
+  Require(clause_count == program.stats.clause_count,
+          "ISA image: clause count mismatch");
+  // A clause record is at least ~13 bytes; bound allocations by the
+  // remaining bytes rather than trusting the count.
+  Require(clause_count <= image.size(), "ISA image: absurd clause count");
+  program.clauses.reserve(clause_count);
+  for (std::uint32_t c = 0; c < clause_count; ++c) {
+    isa::Clause clause;
+    clause.type = DecodeEnum<isa::ClauseType>(r.U8(), 4, "clause type");
+    const std::uint32_t fetches = r.U32();
+    Require(fetches <= image.size(), "ISA image: absurd fetch count");
+    for (std::uint32_t i = 0; i < fetches; ++i) {
+      isa::FetchInst f;
+      f.resource = r.U32();
+      f.dst = DecodeOperand(r);
+      f.virtual_reg = r.U32();
+      clause.fetches.push_back(f);
+    }
+    const std::uint32_t bundles = r.U32();
+    Require(bundles <= image.size(), "ISA image: absurd bundle count");
+    for (std::uint32_t b = 0; b < bundles; ++b) {
+      isa::Bundle bundle;
+      const std::uint32_t ops = r.U32();
+      Require(ops <= 5, "ISA image: bundle wider than the VLIW");
+      for (std::uint32_t o = 0; o < ops; ++o) {
+        isa::MicroOp op;
+        op.op = DecodeEnum<il::Opcode>(
+            r.U8(), static_cast<std::uint8_t>(il::Opcode::kClauseBreak),
+            "opcode");
+        op.lane = r.U8();
+        Require(op.lane <= 4, "ISA image: lane out of range");
+        op.vec4 = r.U8() != 0;
+        op.dst = DecodeOperand(r);
+        op.virtual_reg = r.U32();
+        const std::uint32_t srcs = r.U32();
+        Require(srcs <= 3, "ISA image: too many sources");
+        for (std::uint32_t s = 0; s < srcs; ++s) {
+          op.srcs.push_back(DecodeOperand(r));
+        }
+        bundle.ops.push_back(std::move(op));
+      }
+      clause.bundles.push_back(std::move(bundle));
+    }
+    const std::uint32_t writes = r.U32();
+    Require(writes <= image.size(), "ISA image: absurd write count");
+    for (std::uint32_t i = 0; i < writes; ++i) {
+      isa::WriteInst wr;
+      wr.resource = r.U32();
+      wr.src = DecodeOperand(r);
+      clause.writes.push_back(wr);
+    }
+    program.clauses.push_back(std::move(clause));
+  }
+  Require(r.AtEnd(), "ISA image: trailing bytes");
+  return program;
+}
+
+}  // namespace amdmb::compiler

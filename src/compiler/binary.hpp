@@ -1,0 +1,31 @@
+// Binary serialization of compiled ISA programs.
+//
+// CAL distributed compiled kernels as binary images so applications
+// could cache compilation results; this module provides the equivalent:
+// a compact little-endian encoding of isa::Program with a magic/version
+// header, and a strict decoder that rejects truncated or corrupt images
+// with ConfigError (never reads out of bounds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/isa.hpp"
+
+namespace amdmb::compiler {
+
+/// Serialized program image.
+using BinaryImage = std::vector<std::uint8_t>;
+
+inline constexpr std::uint32_t kBinaryMagic = 0x424D4441;  // "AMDB".
+inline constexpr std::uint32_t kBinaryVersion = 1;
+
+/// Encodes a compiled program. The encoding is deterministic: equal
+/// programs produce byte-identical images.
+BinaryImage Encode(const isa::Program& program);
+
+/// Decodes an image produced by Encode. Throws ConfigError on bad magic,
+/// unsupported version, truncation, or invalid field values.
+isa::Program Decode(const BinaryImage& image);
+
+}  // namespace amdmb::compiler

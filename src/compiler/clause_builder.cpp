@@ -1,0 +1,81 @@
+#include "compiler/clause_builder.hpp"
+
+#include "common/status.hpp"
+#include "compiler/vliw_packer.hpp"
+
+namespace amdmb::compiler {
+
+namespace {
+
+isa::ClauseType FetchClauseType(const il::Kernel& kernel) {
+  return kernel.sig.read_path == ReadPath::kTexture ? isa::ClauseType::kTex
+                                                    : isa::ClauseType::kMemRead;
+}
+
+isa::ClauseType WriteClauseType(const il::Kernel& kernel) {
+  return kernel.sig.write_path == WritePath::kStream
+             ? isa::ClauseType::kExport
+             : isa::ClauseType::kMemWrite;
+}
+
+}  // namespace
+
+std::vector<LoweredClause> BuildClauses(const il::Kernel& kernel,
+                                        const DepGraph& deps,
+                                        const CompileOptions& opts) {
+  Require(opts.max_tex_fetches_per_clause > 0 &&
+              opts.max_alu_bundles_per_clause > 0,
+          "BuildClauses: clause capacity limits must be positive");
+
+  std::vector<LoweredClause> clauses;
+
+  // Collect maximal same-kind runs in program order.
+  std::size_t i = 0;
+  const auto& code = kernel.code;
+  while (i < code.size()) {
+    if (il::IsFetch(code[i].op)) {
+      LoweredClause clause{FetchClauseType(kernel), {}};
+      while (i < code.size() && il::IsFetch(code[i].op)) {
+        if (clause.slots.size() == opts.max_tex_fetches_per_clause) {
+          clauses.push_back(std::move(clause));
+          clause = LoweredClause{FetchClauseType(kernel), {}};
+        }
+        clause.slots.push_back(
+            {LoweredSlot::Kind::kFetch, {static_cast<unsigned>(i)}});
+        ++i;
+      }
+      clauses.push_back(std::move(clause));
+    } else if (il::IsMeta(code[i].op)) {
+      ++i;  // Clause break: the run collectors already stopped here.
+    } else if (il::IsAlu(code[i].op)) {
+      std::vector<unsigned> run;
+      while (i < code.size() && il::IsAlu(code[i].op)) {
+        run.push_back(static_cast<unsigned>(i));
+        ++i;
+      }
+      const std::vector<ProtoBundle> bundles =
+          PackVliw(kernel, deps, run, opts.pack);
+      LoweredClause clause{isa::ClauseType::kAlu, {}};
+      for (const ProtoBundle& b : bundles) {
+        if (clause.slots.size() == opts.max_alu_bundles_per_clause) {
+          clauses.push_back(std::move(clause));
+          clause = LoweredClause{isa::ClauseType::kAlu, {}};
+        }
+        clause.slots.push_back({LoweredSlot::Kind::kBundle, b});
+      }
+      clauses.push_back(std::move(clause));
+    } else {
+      Check(il::IsWrite(code[i].op), "BuildClauses: unknown op class");
+      LoweredClause clause{WriteClauseType(kernel), {}};
+      while (i < code.size() && il::IsWrite(code[i].op)) {
+        clause.slots.push_back(
+            {LoweredSlot::Kind::kWrite, {static_cast<unsigned>(i)}});
+        ++i;
+      }
+      clauses.push_back(std::move(clause));
+    }
+  }
+  return clauses;
+}
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,47 @@
+// Clause formation: partitions an IL kernel into TEX / memory / ALU /
+// export clauses in program order, honoring per-clause capacity limits,
+// and runs VLIW packing inside ALU runs.
+//
+// The result ("lowered clauses") still references IL instruction indices;
+// register allocation and ISA emission happen afterwards in compiler.cpp.
+#pragma once
+
+#include <vector>
+
+#include "compiler/depgraph.hpp"
+#include "compiler/isa.hpp"
+#include "compiler/vliw_packer.hpp"
+#include "il/il.hpp"
+
+namespace amdmb::compiler {
+
+/// Limits and machine shape the lowering honours; defaults match R700.
+struct CompileOptions {
+  unsigned max_tex_fetches_per_clause = 16;
+  unsigned max_alu_bundles_per_clause = 128;
+  /// Clause-temporary registers available (two per odd/even slot).
+  unsigned clause_temps = 4;
+  PackOptions pack;
+};
+
+/// One scheduling slot inside a lowered clause: a single fetch, a VLIW
+/// bundle, or a single write. Slots are the positions register allocation
+/// measures liveness over.
+struct LoweredSlot {
+  enum class Kind { kFetch, kBundle, kWrite } kind = Kind::kBundle;
+  std::vector<unsigned> il_ops;  ///< 1 op for fetch/write; 1..5 for bundle.
+};
+
+struct LoweredClause {
+  isa::ClauseType type = isa::ClauseType::kAlu;
+  std::vector<LoweredSlot> slots;
+};
+
+/// Splits the kernel into clauses at fetch/ALU/write transitions and at
+/// capacity limits. Fetch and write runs keep one slot per instruction;
+/// ALU runs are packed into bundles first.
+std::vector<LoweredClause> BuildClauses(const il::Kernel& kernel,
+                                        const DepGraph& deps,
+                                        const CompileOptions& opts);
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,140 @@
+#include "compiler/compiler.hpp"
+
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "compiler/regalloc.hpp"
+#include "il/verifier.hpp"
+
+namespace amdmb::compiler {
+
+CompileOptions OptionsFor(const GpuArch& arch) {
+  CompileOptions opts;
+  opts.max_tex_fetches_per_clause = arch.max_tex_fetches_per_clause;
+  opts.max_alu_bundles_per_clause = arch.max_alu_bundles_per_clause;
+  opts.clause_temps = arch.clause_temps_per_slot * 2;
+  opts.pack.general_lanes = arch.vliw_width - 1;
+  opts.pack.has_trans_lane = true;
+  return opts;
+}
+
+namespace {
+
+isa::PhysOperand LowerOperand(const il::Operand& op, const Allocation& alloc) {
+  switch (op.kind) {
+    case il::OperandKind::kVirtualReg:
+      return alloc.location[op.index];
+    case il::OperandKind::kConstBuf:
+      return {isa::Loc::kConst, op.index, 0.0f};
+    case il::OperandKind::kLiteral:
+      return {isa::Loc::kLiteral, 0, op.literal};
+  }
+  throw SimError("LowerOperand: unknown operand kind");
+}
+
+}  // namespace
+
+isa::Program Compile(const il::Kernel& kernel, const CompileOptions& opts) {
+  il::VerifyOrThrow(kernel);
+
+  const DepGraph deps(kernel);
+  const std::vector<LoweredClause> lowered = BuildClauses(kernel, deps, opts);
+  const Allocation alloc = Allocate(kernel, deps, lowered, opts);
+
+  isa::Program prog;
+  prog.name = kernel.name;
+  prog.sig = kernel.sig;
+  prog.gpr_count = std::max(1u, alloc.gpr_count);
+
+  const bool vec4 = kernel.sig.type == DataType::kFloat4;
+
+  for (const LoweredClause& lc : lowered) {
+    isa::Clause clause;
+    clause.type = lc.type;
+    // Lane of each value produced by the previous bundle of this clause,
+    // for resolving PV reads to the correct lane.
+    std::unordered_map<unsigned, unsigned> prev_lanes;
+    for (const LoweredSlot& slot : lc.slots) {
+      switch (slot.kind) {
+        case LoweredSlot::Kind::kFetch: {
+          const il::Inst& inst = kernel.code[slot.il_ops.front()];
+          isa::FetchInst f;
+          f.resource = inst.resource;
+          f.dst = alloc.location[inst.dst];
+          Check(f.dst.loc == isa::Loc::kGpr,
+                "Compile: fetch destination must be a GPR");
+          f.virtual_reg = inst.dst;
+          clause.fetches.push_back(f);
+          ++prog.stats.tex_fetches;
+          if (lc.type == isa::ClauseType::kMemRead) {
+            --prog.stats.tex_fetches;
+            ++prog.stats.global_reads;
+          }
+          break;
+        }
+        case LoweredSlot::Kind::kBundle: {
+          isa::Bundle bundle;
+          std::unordered_map<unsigned, unsigned> cur_lanes;
+          unsigned next_lane = 0;
+          for (unsigned il_idx : slot.il_ops) {
+            const il::Inst& inst = kernel.code[il_idx];
+            isa::MicroOp op;
+            op.op = inst.op;
+            op.vec4 = vec4 && !il::IsTranscendental(inst.op);
+            if (il::IsTranscendental(inst.op)) {
+              op.lane = 4;
+            } else if (op.vec4) {
+              op.lane = 0;
+              next_lane = 4;
+            } else {
+              op.lane = next_lane < 4 ? next_lane++ : 4;
+            }
+            op.dst = alloc.location[inst.dst];
+            if (op.dst.loc == isa::Loc::kPv) op.dst.index = op.lane;
+            op.virtual_reg = inst.dst;
+            cur_lanes.emplace(inst.dst, op.lane);
+            for (const il::Operand& src : inst.srcs) {
+              isa::PhysOperand lowered_src = LowerOperand(src, alloc);
+              if (lowered_src.loc == isa::Loc::kPv) {
+                // PV reads resolve against the previous bundle's lanes.
+                const auto it = prev_lanes.find(src.index);
+                Check(it != prev_lanes.end(),
+                      "Compile: PV operand without previous-bundle producer");
+                lowered_src.index = it->second;
+              }
+              op.srcs.push_back(lowered_src);
+            }
+            bundle.ops.push_back(std::move(op));
+            ++prog.stats.alu_ops;
+          }
+          prev_lanes = std::move(cur_lanes);
+          clause.bundles.push_back(std::move(bundle));
+          ++prog.stats.alu_bundles;
+          break;
+        }
+        case LoweredSlot::Kind::kWrite: {
+          const il::Inst& inst = kernel.code[slot.il_ops.front()];
+          isa::WriteInst w;
+          w.resource = inst.resource;
+          Check(inst.srcs.front().kind == il::OperandKind::kVirtualReg,
+                "Compile: write source must be a register");
+          w.src = alloc.location[inst.srcs.front().index];
+          Check(w.src.loc == isa::Loc::kGpr,
+                "Compile: write source must live in a GPR");
+          clause.writes.push_back(w);
+          ++prog.stats.writes;
+          break;
+        }
+      }
+    }
+    prog.clauses.push_back(std::move(clause));
+  }
+  prog.stats.clause_count = static_cast<unsigned>(prog.clauses.size());
+  return prog;
+}
+
+isa::Program Compile(const il::Kernel& kernel, const GpuArch& arch) {
+  return Compile(kernel, OptionsFor(arch));
+}
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,23 @@
+// IL -> ISA compilation driver: verification, clause formation, VLIW
+// packing, register allocation, ISA emission.
+#pragma once
+
+#include "arch/gpu_arch.hpp"
+#include "compiler/clause_builder.hpp"
+#include "compiler/isa.hpp"
+#include "il/il.hpp"
+
+namespace amdmb::compiler {
+
+/// Compile options derived from a machine description.
+CompileOptions OptionsFor(const GpuArch& arch);
+
+/// Compiles an IL kernel to a clause-based ISA program. Throws
+/// ConfigError if the kernel fails IL verification (mirroring CAL
+/// rejecting / optimizing away invalid kernels).
+isa::Program Compile(const il::Kernel& kernel, const CompileOptions& opts);
+
+/// Convenience overload using the architecture's clause limits.
+isa::Program Compile(const il::Kernel& kernel, const GpuArch& arch);
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,53 @@
+#include "compiler/depgraph.hpp"
+
+#include "common/status.hpp"
+
+namespace amdmb::compiler {
+
+DepGraph::DepGraph(const il::Kernel& kernel) : kernel_(&kernel) {
+  unsigned max_reg = 0;
+  for (const il::Inst& inst : kernel.code) {
+    if (il::IsFetch(inst.op) || il::IsAlu(inst.op)) {
+      max_reg = std::max(max_reg, inst.dst + 1);
+    }
+  }
+  defs_.assign(max_reg, kNoDef);
+  uses_.assign(max_reg, {});
+  for (unsigned i = 0; i < kernel.code.size(); ++i) {
+    const il::Inst& inst = kernel.code[i];
+    for (const il::Operand& src : inst.srcs) {
+      if (src.kind == il::OperandKind::kVirtualReg) {
+        Check(src.index < max_reg, "DepGraph: operand register out of range");
+        uses_[src.index].push_back(i);
+      }
+    }
+    if (il::IsFetch(inst.op) || il::IsAlu(inst.op)) {
+      Check(defs_[inst.dst] == kNoDef, "DepGraph: register defined twice");
+      defs_[inst.dst] = i;
+    }
+  }
+}
+
+unsigned DepGraph::DefSite(unsigned vreg) const {
+  Check(vreg < defs_.size(), "DepGraph::DefSite: vreg out of range");
+  return defs_[vreg];
+}
+
+const std::vector<unsigned>& DepGraph::UseSites(unsigned vreg) const {
+  Check(vreg < uses_.size(), "DepGraph::UseSites: vreg out of range");
+  return uses_[vreg];
+}
+
+bool DepGraph::DependsOn(unsigned consumer, unsigned producer) const {
+  const il::Inst& c = kernel_->code[consumer];
+  const il::Inst& p = kernel_->code[producer];
+  if (!il::IsFetch(p.op) && !il::IsAlu(p.op)) return false;
+  for (const il::Operand& src : c.srcs) {
+    if (src.kind == il::OperandKind::kVirtualReg && src.index == p.dst) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,37 @@
+// Def/use analysis of IL kernels (single-assignment virtual registers).
+#pragma once
+
+#include <vector>
+
+#include "il/il.hpp"
+
+namespace amdmb::compiler {
+
+/// Def and use sites of every virtual register, by IL instruction index.
+class DepGraph {
+ public:
+  explicit DepGraph(const il::Kernel& kernel);
+
+  static constexpr unsigned kNoDef = ~0u;
+
+  /// IL index of the instruction defining `vreg`, or kNoDef.
+  unsigned DefSite(unsigned vreg) const;
+
+  /// IL indices of instructions reading `vreg`, ascending.
+  const std::vector<unsigned>& UseSites(unsigned vreg) const;
+
+  unsigned VirtualRegCount() const {
+    return static_cast<unsigned>(defs_.size());
+  }
+
+  /// True when IL instruction `consumer` reads the value defined by IL
+  /// instruction `producer`.
+  bool DependsOn(unsigned consumer, unsigned producer) const;
+
+ private:
+  std::vector<unsigned> defs_;                ///< vreg -> il index.
+  std::vector<std::vector<unsigned>> uses_;   ///< vreg -> il indices.
+  const il::Kernel* kernel_;
+};
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,113 @@
+#include "compiler/isa.hpp"
+
+#include <array>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace amdmb::isa {
+
+std::string_view ToString(ClauseType t) {
+  switch (t) {
+    case ClauseType::kTex: return "TEX";
+    case ClauseType::kMemRead: return "MEM_RD";
+    case ClauseType::kAlu: return "ALU";
+    case ClauseType::kExport: return "EXP_DONE";
+    case ClauseType::kMemWrite: return "MEM_EXPORT";
+  }
+  throw SimError("ToString(ClauseType): unknown clause type");
+}
+
+unsigned Bundle::SlotCount() const {
+  unsigned slots = 0;
+  for (const auto& op : ops) slots += op.vec4 ? 4u : 1u;
+  return slots;
+}
+
+namespace {
+
+constexpr std::array<char, 5> kLaneNames = {'x', 'y', 'z', 'w', 't'};
+
+void PrintPhys(std::ostringstream& os, const PhysOperand& p) {
+  switch (p.loc) {
+    case Loc::kGpr: os << "R" << p.index; break;
+    case Loc::kPv: os << "PV"; break;
+    case Loc::kTemp: os << "T" << p.index; break;
+    case Loc::kConst: os << "KC0[" << p.index << "]"; break;
+    case Loc::kLiteral: os << p.literal; break;
+  }
+}
+
+std::string UpperMnemonic(il::Opcode op) {
+  std::string m(il::Mnemonic(op));
+  for (char& c : m) c = static_cast<char>(std::toupper(c));
+  return m;
+}
+
+}  // namespace
+
+std::string Disassemble(const Program& program) {
+  std::ostringstream os;
+  os << "; -------- Disassembly: " << program.name << " --------\n";
+  os << "; GPRs used: " << program.gpr_count << "\n";
+  unsigned instr_counter = 0;
+  for (std::size_t ci = 0; ci < program.clauses.size(); ++ci) {
+    const Clause& clause = program.clauses[ci];
+    os << std::setw(2) << std::setfill('0') << ci << std::setfill(' ') << " "
+       << ToString(clause.type) << ":";
+    switch (clause.type) {
+      case ClauseType::kTex:
+      case ClauseType::kMemRead:
+        os << " CNT(" << clause.fetches.size() << ")";
+        if (program.sig.write_path == WritePath::kStream) os << " VALID_PIX";
+        os << "\n";
+        for (const FetchInst& f : clause.fetches) {
+          os << "    " << std::setw(4) << instr_counter++ << "  "
+             << (clause.type == ClauseType::kTex ? "SAMPLE" : "VFETCH") << " ";
+          PrintPhys(os, f.dst);
+          os << ", R0.xyxx, t" << f.resource << ", s0\n";
+        }
+        break;
+      case ClauseType::kAlu:
+        os << " CNT(" << clause.bundles.size() << ")\n";
+        for (const Bundle& b : clause.bundles) {
+          os << "    " << std::setw(4) << instr_counter++ << "  ";
+          bool first = true;
+          for (const MicroOp& op : b.ops) {
+            if (!first) os << "\n          ";
+            first = false;
+            if (op.vec4) {
+              os << "xyzw: ";
+            } else {
+              os << kLaneNames[op.lane] << ": ";
+            }
+            os << UpperMnemonic(op.op) << " ";
+            PrintPhys(os, op.dst);
+            for (const PhysOperand& s : op.srcs) {
+              os << ", ";
+              PrintPhys(os, s);
+            }
+          }
+          os << "\n";
+        }
+        break;
+      case ClauseType::kExport:
+      case ClauseType::kMemWrite:
+        os << " CNT(" << clause.writes.size() << ")\n";
+        for (const WriteInst& w : clause.writes) {
+          os << "    " << std::setw(4) << instr_counter++ << "  "
+             << (clause.type == ClauseType::kExport ? "PIX" : "UAV") << w.resource
+             << ", ";
+          PrintPhys(os, w.src);
+          os << "\n";
+        }
+        break;
+    }
+  }
+  os << "END_OF_PROGRAM\n";
+  return os.str();
+}
+
+}  // namespace amdmb::isa

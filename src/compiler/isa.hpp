@@ -1,0 +1,116 @@
+// Clause-based VLIW ISA representation — the compiler's output and the
+// timing simulator's input.
+//
+// Mirrors the R600/R700 execution model the paper describes (Sec. II):
+// instructions are grouped into clauses (TEX, ALU, EXP/MEM); ALU clauses
+// hold VLIW bundles of up to five micro-ops on the x/y/z/w general cores
+// and the t transcendental core; values produced by the previous bundle
+// are read through the PV ("previous vector") register; short-lived
+// values inside a clause live in clause-temporary registers (T0..),
+// which come from the GPR pool per slot but are free between clauses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "il/il.hpp"
+
+namespace amdmb::isa {
+
+enum class ClauseType : std::uint8_t {
+  kTex,       ///< Texture fetch clause (SAMPLE).
+  kMemRead,   ///< Uncached global-memory read clause.
+  kAlu,       ///< VLIW ALU clause.
+  kExport,    ///< Streaming store to color buffers (EXP_DONE).
+  kMemWrite,  ///< Uncached global-memory write clause.
+};
+
+std::string_view ToString(ClauseType t);
+
+/// Physical storage class of an operand after register allocation.
+enum class Loc : std::uint8_t {
+  kGpr,      ///< General-purpose register Rn (counts toward occupancy).
+  kPv,       ///< Previous-vector register (result of the previous bundle).
+  kTemp,     ///< Clause-temporary register Tn (live only inside a clause).
+  kConst,    ///< Constant-buffer element.
+  kLiteral,  ///< Inline literal.
+};
+
+struct PhysOperand {
+  Loc loc = Loc::kGpr;
+  unsigned index = 0;
+  float literal = 0.0f;
+};
+
+/// One fetch in a TEX or memory-read clause.
+struct FetchInst {
+  unsigned resource = 0;     ///< Which input stream.
+  PhysOperand dst;           ///< Always a GPR.
+  unsigned virtual_reg = 0;  ///< IL-level id (for interpretation/tests).
+};
+
+/// One lane of a VLIW bundle.
+struct MicroOp {
+  il::Opcode op = il::Opcode::kMov;
+  unsigned lane = 0;   ///< 0..3 = x,y,z,w general cores; 4 = t core.
+  bool vec4 = false;   ///< float4 op occupying lanes 0..3 as one unit.
+  PhysOperand dst;
+  std::vector<PhysOperand> srcs;
+  unsigned virtual_reg = 0;
+};
+
+/// One VLIW instruction: micro-ops co-issued in the same cycles.
+struct Bundle {
+  std::vector<MicroOp> ops;
+
+  /// Lane slots occupied (a vec4 op occupies 4).
+  unsigned SlotCount() const;
+};
+
+/// One write in an export or memory-write clause.
+struct WriteInst {
+  unsigned resource = 0;  ///< Which output stream.
+  PhysOperand src;        ///< Always a GPR.
+};
+
+struct Clause {
+  ClauseType type = ClauseType::kAlu;
+  std::vector<FetchInst> fetches;  ///< kTex / kMemRead.
+  std::vector<Bundle> bundles;     ///< kAlu.
+  std::vector<WriteInst> writes;   ///< kExport / kMemWrite.
+};
+
+/// Static instruction statistics of a compiled program, the numbers the
+/// StreamKernelAnalyzer reports.
+struct StaticStats {
+  unsigned alu_ops = 0;       ///< IL-level ALU operation count.
+  unsigned alu_bundles = 0;   ///< VLIW instruction count.
+  unsigned tex_fetches = 0;   ///< Texture-path fetches.
+  unsigned global_reads = 0;  ///< Global-memory reads.
+  unsigned writes = 0;        ///< Output writes (either path).
+  unsigned clause_count = 0;
+};
+
+/// A compiled kernel.
+struct Program {
+  std::string name;
+  il::Signature sig;
+  std::vector<Clause> clauses;
+  /// Data GPRs used (the paper's register-usage metric; determines
+  /// occupancy). Excludes the fixed coordinate register R0, matching how
+  /// the paper counts Fig. 2 ("three inputs ... three GPRs").
+  unsigned gpr_count = 0;
+  StaticStats stats;
+};
+
+/// Renders the program in the flavour of the paper's Fig. 2 disassembly:
+///   00 TEX: CNT(3) VALID_PIX
+///        0  SAMPLE R1, R0.xyxx, t0, s0
+///   01 ALU: CNT(88)
+///        8  x: ADD ____, R1.x, R2.x
+///   02 EXP_DONE: PIX0, R4
+///   END_OF_PROGRAM
+std::string Disassemble(const Program& program);
+
+}  // namespace amdmb::isa

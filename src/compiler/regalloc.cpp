@@ -1,0 +1,183 @@
+#include "compiler/regalloc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/status.hpp"
+
+namespace amdmb::compiler {
+
+namespace {
+
+struct VregInfo {
+  unsigned vreg = 0;
+  unsigned def_pos = 0;
+  unsigned last_use_pos = 0;
+  unsigned def_clause = 0;
+  unsigned last_use_clause = 0;
+  bool def_is_bundle = false;
+  bool pv_eligible = false;   ///< All uses in the very next bundle slot.
+  bool temp_eligible = false; ///< All uses inside the defining ALU clause.
+};
+
+}  // namespace
+
+Allocation Allocate(const il::Kernel& kernel, const DepGraph& deps,
+                    const std::vector<LoweredClause>& clauses,
+                    const CompileOptions& opts) {
+  // Global slot positions and the location of each IL instruction.
+  struct SlotRef {
+    unsigned clause = 0;
+    LoweredSlot::Kind kind = LoweredSlot::Kind::kBundle;
+  };
+  std::vector<SlotRef> slot_refs;                  // position -> info
+  std::vector<unsigned> il_to_pos(kernel.code.size(), 0);
+  std::vector<unsigned> il_to_clause(kernel.code.size(), 0);
+  for (unsigned ci = 0; ci < clauses.size(); ++ci) {
+    for (const LoweredSlot& slot : clauses[ci].slots) {
+      const auto pos = static_cast<unsigned>(slot_refs.size());
+      slot_refs.push_back({ci, slot.kind});
+      for (unsigned il_idx : slot.il_ops) {
+        il_to_pos[il_idx] = pos;
+        il_to_clause[il_idx] = ci;
+      }
+    }
+  }
+
+  // Classify every virtual register.
+  std::vector<VregInfo> infos;
+  infos.reserve(deps.VirtualRegCount());
+  for (unsigned v = 0; v < deps.VirtualRegCount(); ++v) {
+    const unsigned def_il = deps.DefSite(v);
+    if (def_il == DepGraph::kNoDef) continue;
+    VregInfo info;
+    info.vreg = v;
+    info.def_pos = il_to_pos[def_il];
+    info.def_clause = il_to_clause[def_il];
+    info.def_is_bundle =
+        slot_refs[info.def_pos].kind == LoweredSlot::Kind::kBundle;
+    info.last_use_pos = info.def_pos;
+    info.last_use_clause = info.def_clause;
+
+    const auto& uses = deps.UseSites(v);
+    bool all_next_bundle = info.def_is_bundle && !uses.empty();
+    bool all_same_clause = info.def_is_bundle && !uses.empty();
+    for (unsigned use_il : uses) {
+      const unsigned use_pos = il_to_pos[use_il];
+      const unsigned use_clause = il_to_clause[use_il];
+      info.last_use_pos = std::max(info.last_use_pos, use_pos);
+      info.last_use_clause = std::max(info.last_use_clause, use_clause);
+      if (use_pos != info.def_pos + 1 ||
+          slot_refs[use_pos].kind != LoweredSlot::Kind::kBundle ||
+          use_clause != info.def_clause) {
+        all_next_bundle = false;
+      }
+      if (use_clause != info.def_clause ||
+          slot_refs[use_pos].kind != LoweredSlot::Kind::kBundle) {
+        all_same_clause = false;
+      }
+    }
+    info.pv_eligible = all_next_bundle;
+    info.temp_eligible = all_same_clause;
+    infos.push_back(info);
+  }
+
+  Allocation alloc;
+  alloc.location.assign(deps.VirtualRegCount(),
+                        isa::PhysOperand{isa::Loc::kGpr, 0, 0.0f});
+
+  // Clause-temporary assignment: per clause, linear scan over the limited
+  // temp pool; candidates that do not fit fall through to GPRs.
+  struct ActiveTemp {
+    unsigned last_use_pos;
+    unsigned temp_index;
+  };
+  std::map<unsigned, std::vector<const VregInfo*>> temp_candidates;
+  for (const VregInfo& info : infos) {
+    if (info.pv_eligible) {
+      alloc.location[info.vreg] = {isa::Loc::kPv, 0, 0.0f};
+    } else if (info.temp_eligible && opts.clause_temps > 0) {
+      temp_candidates[info.def_clause].push_back(&info);
+    }
+  }
+  std::set<unsigned> gpr_needed;  // vregs requiring a GPR
+  for (auto& [clause, candidates] : temp_candidates) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const VregInfo* a, const VregInfo* b) {
+                return a->def_pos < b->def_pos;
+              });
+    std::vector<ActiveTemp> active;
+    std::set<unsigned> free_temps;
+    for (unsigned t = 0; t < opts.clause_temps; ++t) free_temps.insert(t);
+    for (const VregInfo* info : candidates) {
+      std::erase_if(active, [&](const ActiveTemp& a) {
+        if (a.last_use_pos < info->def_pos) {
+          free_temps.insert(a.temp_index);
+          return true;
+        }
+        return false;
+      });
+      if (free_temps.empty()) {
+        gpr_needed.insert(info->vreg);
+        continue;
+      }
+      const unsigned t = *free_temps.begin();
+      free_temps.erase(free_temps.begin());
+      active.push_back({info->last_use_pos, t});
+      alloc.location[info->vreg] = {isa::Loc::kTemp, t, 0.0f};
+    }
+  }
+
+  // GPR linear scan over global positions.
+  struct Interval {
+    unsigned def_pos;
+    unsigned last_use_pos;
+    unsigned vreg;
+  };
+  std::vector<Interval> intervals;
+  for (const VregInfo& info : infos) {
+    const isa::PhysOperand& loc = alloc.location[info.vreg];
+    const bool already_placed =
+        (loc.loc == isa::Loc::kPv || loc.loc == isa::Loc::kTemp) &&
+        !gpr_needed.contains(info.vreg);
+    if ((info.pv_eligible || info.temp_eligible) && already_placed) continue;
+    intervals.push_back({info.def_pos, info.last_use_pos, info.vreg});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.def_pos < b.def_pos;
+            });
+
+  struct ActiveGpr {
+    unsigned last_use_pos;
+    unsigned gpr;
+  };
+  std::vector<ActiveGpr> active;
+  std::set<unsigned> free_gprs;
+  unsigned next_gpr = 0;
+  for (const Interval& iv : intervals) {
+    std::erase_if(active, [&](const ActiveGpr& a) {
+      if (a.last_use_pos < iv.def_pos) {
+        free_gprs.insert(a.gpr);
+        return true;
+      }
+      return false;
+    });
+    unsigned g;
+    if (!free_gprs.empty()) {
+      g = *free_gprs.begin();
+      free_gprs.erase(free_gprs.begin());
+    } else {
+      g = next_gpr++;
+    }
+    active.push_back({iv.last_use_pos, g});
+    alloc.location[iv.vreg] = {isa::Loc::kGpr, g, 0.0f};
+  }
+  alloc.gpr_count = next_gpr;
+  Check(alloc.gpr_count <= 256,
+        "Allocate: kernel exceeds the 256-GPR per-thread budget");
+  return alloc;
+}
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,36 @@
+// Register allocation over lowered clauses.
+//
+// Storage classes in priority order (paper Sec. III):
+//  * PV       — value produced by the immediately preceding bundle and
+//               consumed only there; costs no GPR. "Special 'previous'
+//               registers allow data dependency between ALU operations
+//               without having to occupy a global purpose register."
+//  * Temp Tn  — value whose whole live range stays inside one ALU clause;
+//               drawn from the small clause-temporary pool (max two per
+//               odd/even slot => four). "They do not hold their value
+//               across clauses."
+//  * GPR Rn   — everything else: fetch results, values crossing clause
+//               boundaries, and output values awaiting the write clause.
+//               The peak number of simultaneously live GPR values is the
+//               kernel's register usage, which determines occupancy.
+#pragma once
+
+#include <vector>
+
+#include "compiler/clause_builder.hpp"
+#include "compiler/depgraph.hpp"
+
+namespace amdmb::compiler {
+
+struct Allocation {
+  /// Storage of each virtual register (indexed by vreg id).
+  std::vector<isa::PhysOperand> location;
+  /// Peak simultaneously-live GPRs (the paper's register-usage metric).
+  unsigned gpr_count = 0;
+};
+
+Allocation Allocate(const il::Kernel& kernel, const DepGraph& deps,
+                    const std::vector<LoweredClause>& clauses,
+                    const CompileOptions& opts);
+
+}  // namespace amdmb::compiler

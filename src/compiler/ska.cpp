@@ -1,0 +1,58 @@
+#include "compiler/ska.hpp"
+
+#include <sstream>
+
+#include "arch/occupancy.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+
+namespace amdmb::compiler {
+
+std::string_view ToString(StaticBound b) {
+  switch (b) {
+    case StaticBound::kAlu: return "ALU-bound";
+    case StaticBound::kFetch: return "fetch-bound";
+    case StaticBound::kBalanced: return "balanced";
+  }
+  throw SimError("ToString(StaticBound): unknown value");
+}
+
+SkaReport Analyze(const isa::Program& program, const GpuArch& arch) {
+  SkaReport r;
+  r.alu_ops = program.stats.alu_ops;
+  r.fetch_ops = program.stats.tex_fetches + program.stats.global_reads;
+  r.write_ops = program.stats.writes;
+  const double tp_to_tex = static_cast<double>(
+      arch.thread_processors_per_simd) / arch.tex_units_per_simd;
+  r.alu_fetch_ratio =
+      SafeRatio(static_cast<double>(r.alu_ops), r.fetch_ops) / tp_to_tex;
+  r.gpr_count = program.gpr_count;
+  r.theoretical_wavefronts = TheoreticalWavefronts(arch, r.gpr_count);
+  r.resident_wavefronts = WavefrontsPerSimd(arch, r.gpr_count);
+  if (r.fetch_ops == 0 || r.alu_fetch_ratio > kBalancedRatioHigh) {
+    r.bound = StaticBound::kAlu;
+  } else if (r.alu_fetch_ratio < kBalancedRatioLow) {
+    r.bound = StaticBound::kFetch;
+  } else {
+    r.bound = StaticBound::kBalanced;
+  }
+  return r;
+}
+
+std::string SkaReport::Render() const {
+  std::ostringstream os;
+  os << "SKA report:\n"
+     << "  ALU ops:            " << alu_ops << "\n"
+     << "  Fetch ops:          " << fetch_ops << "\n"
+     << "  Write ops:          " << write_ops << "\n"
+     << "  ALU:Fetch ratio:    " << FormatDouble(alu_fetch_ratio, 2)
+     << "  (4:1-normalised)\n"
+     << "  GPRs:               " << gpr_count << "\n"
+     << "  Wavefronts (theor): " << theoretical_wavefronts << "\n"
+     << "  Wavefronts (sched): " << resident_wavefronts << "\n"
+     << "  Static bound:       " << ToString(bound) << "\n";
+  return os.str();
+}
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,43 @@
+// Static kernel analysis in the style of AMD's StreamKernelAnalyzer (SKA).
+//
+// The paper (Sec. III-A) leans on two SKA conventions we reproduce:
+//  * The reported ALU:Fetch ratio is normalised by the hardware's 4:1
+//    thread-processor-to-texture-unit ratio: 16 ALU ops with 4 fetches
+//    reports as 1.0, and a kernel is "balanced" between 0.98 and 1.09.
+//  * Register usage and the resulting theoretical wavefront occupancy.
+#pragma once
+
+#include <string>
+
+#include "arch/gpu_arch.hpp"
+#include "compiler/isa.hpp"
+
+namespace amdmb::compiler {
+
+/// SKA's static boundedness guess (the dynamic truth comes from the
+/// simulator; Sec. III-A explains why the static view can mislead).
+enum class StaticBound { kAlu, kFetch, kBalanced };
+
+std::string_view ToString(StaticBound b);
+
+struct SkaReport {
+  unsigned alu_ops = 0;
+  unsigned fetch_ops = 0;  ///< Texture fetches + global reads.
+  unsigned write_ops = 0;
+  /// (alu_ops / fetch_ops) / 4 — the SKA-normalised ratio.
+  double alu_fetch_ratio = 0.0;
+  unsigned gpr_count = 0;
+  unsigned theoretical_wavefronts = 0;  ///< 256 / GPRs (uncapped).
+  unsigned resident_wavefronts = 0;     ///< After the scheduler cap.
+  StaticBound bound = StaticBound::kBalanced;
+
+  std::string Render() const;
+};
+
+/// SKA's "good" ratio window (Sec. III-A).
+inline constexpr double kBalancedRatioLow = 0.98;
+inline constexpr double kBalancedRatioHigh = 1.09;
+
+SkaReport Analyze(const isa::Program& program, const GpuArch& arch);
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,73 @@
+#include "compiler/vliw_packer.hpp"
+
+#include "common/status.hpp"
+
+namespace amdmb::compiler {
+
+std::vector<ProtoBundle> PackVliw(const il::Kernel& kernel,
+                                  const DepGraph& deps,
+                                  const std::vector<unsigned>& alu_il_indices,
+                                  const PackOptions& opts) {
+  std::vector<ProtoBundle> bundles;
+  const bool vec4 = kernel.sig.type == DataType::kFloat4;
+
+  ProtoBundle current;
+  unsigned general_used = 0;
+  bool trans_used = false;
+
+  auto flush = [&] {
+    if (!current.empty()) {
+      bundles.push_back(current);
+      current.clear();
+      general_used = 0;
+      trans_used = false;
+    }
+  };
+
+  for (unsigned il_idx : alu_il_indices) {
+    const il::Inst& inst = kernel.code[il_idx];
+    Check(il::IsAlu(inst.op), "PackVliw: non-ALU op in ALU run");
+
+    const bool trans = il::IsTranscendental(inst.op);
+    // Lane demand: float4 general ops need all four general lanes; float4
+    // transcendental ops serialise over the t core (modelled as needing an
+    // empty bundle).
+    const unsigned lanes_needed = vec4 && !trans ? opts.general_lanes : 1;
+
+    bool fits = true;
+    if (trans || (vec4 && trans)) {
+      fits = opts.has_trans_lane && !trans_used && (!vec4 || current.empty());
+    } else if (vec4) {
+      fits = general_used == 0;
+    } else {
+      const bool general_free = general_used < opts.general_lanes;
+      const bool trans_free = opts.has_trans_lane && !trans_used;
+      fits = general_free || trans_free;
+    }
+    if (fits) {
+      // Dependence on an op already in the current bundle forbids joining.
+      for (unsigned other : current) {
+        if (deps.DependsOn(il_idx, other)) {
+          fits = false;
+          break;
+        }
+      }
+    }
+    if (!fits) flush();
+
+    current.push_back(il_idx);
+    if (trans) {
+      trans_used = true;
+    } else if (vec4) {
+      general_used += lanes_needed;
+    } else if (general_used < opts.general_lanes) {
+      ++general_used;
+    } else {
+      trans_used = true;  // General op spilled onto the t core.
+    }
+  }
+  flush();
+  return bundles;
+}
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,40 @@
+// VLIW bundle formation for ALU instruction runs.
+//
+// The thread processor has four general cores (x, y, z, w) and one
+// transcendental core (t); independent ALU ops co-issue in one bundle.
+// A float4 operation occupies the four general lanes as one unit, so a
+// data-dependent chain produces exactly one bundle per IL op for *both*
+// float and float4 — the property the paper's generators rely on to keep
+// ALU cycle counts independent of the data type (Sec. III).
+//
+// Packing is in-order greedy (no reordering), matching how close the
+// paper keeps its IL to the final ISA.
+#pragma once
+
+#include <vector>
+
+#include "compiler/depgraph.hpp"
+#include "il/il.hpp"
+
+namespace amdmb::compiler {
+
+/// Indices into the IL code of the ops co-issued in one VLIW bundle.
+using ProtoBundle = std::vector<unsigned>;
+
+struct PackOptions {
+  unsigned general_lanes = 4;  ///< x, y, z, w.
+  bool has_trans_lane = true;  ///< t core present.
+};
+
+/// Packs the ALU run `alu_il_indices` (ascending IL indices) into bundles.
+/// An op joins the current bundle only if no operand is defined by an op
+/// already in that bundle and a suitable lane is free. Transcendental ops
+/// require the t lane; general ops prefer general lanes but may use the t
+/// lane when the general lanes are full (the t core also executes basic
+/// ops, Sec. II-A).
+std::vector<ProtoBundle> PackVliw(const il::Kernel& kernel,
+                                  const DepGraph& deps,
+                                  const std::vector<unsigned>& alu_il_indices,
+                                  const PackOptions& opts = {});
+
+}  // namespace amdmb::compiler

@@ -1,0 +1,75 @@
+#include "il/builder.hpp"
+
+#include "common/status.hpp"
+
+namespace amdmb::il {
+
+Builder::Builder(std::string name, Signature sig) {
+  kernel_.name = std::move(name);
+  kernel_.sig = sig;
+}
+
+unsigned Builder::Define(Inst inst) {
+  inst.dst = next_reg_++;
+  kernel_.code.push_back(std::move(inst));
+  return kernel_.code.back().dst;
+}
+
+unsigned Builder::Fetch(unsigned input_index) {
+  Require(input_index < kernel_.sig.inputs,
+          "Builder::Fetch: input index out of range");
+  Inst inst;
+  inst.op = kernel_.sig.read_path == ReadPath::kTexture ? Opcode::kSample
+                                                        : Opcode::kGlobalLoad;
+  inst.resource = input_index;
+  return Define(std::move(inst));
+}
+
+unsigned Builder::Alu(Opcode op, Operand a, Operand b) {
+  Require(IsAlu(op) && SourceCount(op) == 2,
+          "Builder::Alu: opcode must be a two-source ALU op");
+  Inst inst;
+  inst.op = op;
+  inst.srcs = {a, b};
+  return Define(std::move(inst));
+}
+
+unsigned Builder::Alu1(Opcode op, Operand a) {
+  Require(IsAlu(op) && SourceCount(op) == 1,
+          "Builder::Alu1: opcode must be a one-source ALU op");
+  Inst inst;
+  inst.op = op;
+  inst.srcs = {a};
+  return Define(std::move(inst));
+}
+
+unsigned Builder::Mad(Operand a, Operand b, Operand c) {
+  Inst inst;
+  inst.op = Opcode::kMad;
+  inst.srcs = {a, b, c};
+  return Define(std::move(inst));
+}
+
+void Builder::Write(unsigned output_index, unsigned value) {
+  Require(output_index < kernel_.sig.outputs,
+          "Builder::Write: output index out of range");
+  Require(value < next_reg_, "Builder::Write: value register not defined");
+  Inst inst;
+  inst.op = kernel_.sig.write_path == WritePath::kStream
+                ? Opcode::kExport
+                : Opcode::kGlobalStore;
+  inst.resource = output_index;
+  inst.srcs = {Operand::Reg(value)};
+  inst.dst = 0;  // Writes define no register.
+  kernel_.code.push_back(std::move(inst));
+}
+
+void Builder::ClauseBreak() {
+  Inst inst;
+  inst.op = Opcode::kClauseBreak;
+  kernel_.code.push_back(std::move(inst));
+}
+
+Kernel Builder::Build() && { return std::move(kernel_); }
+
+}  // namespace amdmb::il

@@ -1,0 +1,95 @@
+#include "il/il.hpp"
+
+#include "common/status.hpp"
+
+namespace amdmb::il {
+
+bool IsFetch(Opcode op) {
+  return op == Opcode::kSample || op == Opcode::kGlobalLoad;
+}
+
+bool IsAlu(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kMad:
+    case Opcode::kMov:
+    case Opcode::kRcp:
+    case Opcode::kSin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsWrite(Opcode op) {
+  return op == Opcode::kExport || op == Opcode::kGlobalStore;
+}
+
+bool IsTranscendental(Opcode op) {
+  return op == Opcode::kRcp || op == Opcode::kSin;
+}
+
+bool IsMeta(Opcode op) { return op == Opcode::kClauseBreak; }
+
+unsigned SourceCount(Opcode op) {
+  switch (op) {
+    case Opcode::kSample:
+    case Opcode::kGlobalLoad:
+      return 0;
+    case Opcode::kMov:
+    case Opcode::kRcp:
+    case Opcode::kSin:
+    case Opcode::kExport:
+    case Opcode::kGlobalStore:
+      return 1;
+    case Opcode::kClauseBreak:
+      return 0;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+      return 2;
+    case Opcode::kMad:
+      return 3;
+  }
+  throw SimError("SourceCount: unknown opcode");
+}
+
+std::string_view Mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kSample: return "sample";
+    case Opcode::kGlobalLoad: return "uav_load";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kMad: return "mad";
+    case Opcode::kMov: return "mov";
+    case Opcode::kRcp: return "rcp";
+    case Opcode::kSin: return "sin";
+    case Opcode::kExport: return "export";
+    case Opcode::kGlobalStore: return "uav_store";
+    case Opcode::kClauseBreak: return ";; clause_break";
+  }
+  throw SimError("Mnemonic: unknown opcode");
+}
+
+unsigned Kernel::CountFetchOps() const {
+  unsigned n = 0;
+  for (const auto& inst : code) n += IsFetch(inst.op) ? 1u : 0u;
+  return n;
+}
+
+unsigned Kernel::CountAluOps() const {
+  unsigned n = 0;
+  for (const auto& inst : code) n += IsAlu(inst.op) ? 1u : 0u;
+  return n;
+}
+
+unsigned Kernel::CountWriteOps() const {
+  unsigned n = 0;
+  for (const auto& inst : code) n += IsWrite(inst.op) ? 1u : 0u;
+  return n;
+}
+
+}  // namespace amdmb::il

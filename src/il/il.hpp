@@ -1,0 +1,102 @@
+// AMD IL-like kernel intermediate representation.
+//
+// The paper generates every micro-benchmark kernel in AMD's Intermediate
+// Language (IL) and lets the CAL compiler lower it to clause-based VLIW
+// ISA. We reproduce that split: this module is the IL level — a linear
+// program over *virtual* registers — and src/compiler lowers it to the
+// ISA level (clauses, VLIW bundles, physical GPRs, PV forwarding).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace amdmb::il {
+
+enum class Opcode : std::uint8_t {
+  // Fetch instructions (become TEX-clause or memory-clause entries).
+  kSample,      ///< Texture fetch of input `resource` at the thread coord.
+  kGlobalLoad,  ///< Uncached global-memory read of input `resource`.
+  // ALU instructions.
+  kAdd,
+  kSub,
+  kMul,
+  kMad,  ///< dst = a * b + c.
+  kMov,
+  kRcp,  ///< Transcendental (t-lane only).
+  kSin,  ///< Transcendental (t-lane only).
+  // Write instructions.
+  kExport,       ///< Streaming store to color buffer `resource` (pixel mode).
+  kGlobalStore,  ///< Uncached global-memory write to output `resource`.
+  // Meta instructions.
+  kClauseBreak,  ///< Forces an ALU-clause boundary (stands in for the CAL
+                 ///< compiler's clause-splitting heuristics; used by the
+                 ///< paper's Fig. 5 clause-usage control kernel).
+};
+
+bool IsFetch(Opcode op);
+bool IsAlu(Opcode op);
+bool IsWrite(Opcode op);
+/// True for ops that may only execute on the transcendental (t) core.
+bool IsTranscendental(Opcode op);
+/// True for scheduling markers that emit no hardware instruction.
+bool IsMeta(Opcode op);
+/// Number of source operands the opcode consumes.
+unsigned SourceCount(Opcode op);
+std::string_view Mnemonic(Opcode op);
+
+/// What an ALU source operand refers to at the IL level.
+enum class OperandKind : std::uint8_t {
+  kVirtualReg,  ///< A virtual register defined earlier in the program.
+  kConstBuf,    ///< Element of the constant buffer.
+  kLiteral,     ///< Inline float literal.
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::kVirtualReg;
+  unsigned index = 0;    ///< Virtual register id or constant-buffer slot.
+  float literal = 0.0f;  ///< Value when kind == kLiteral.
+
+  static Operand Reg(unsigned id) {
+    return {OperandKind::kVirtualReg, id, 0.0f};
+  }
+  static Operand Const(unsigned slot) {
+    return {OperandKind::kConstBuf, slot, 0.0f};
+  }
+  static Operand Lit(float v) { return {OperandKind::kLiteral, 0, v}; }
+};
+
+struct Inst {
+  Opcode op = Opcode::kMov;
+  unsigned dst = 0;       ///< Virtual register defined (fetch/ALU only).
+  unsigned resource = 0;  ///< Input index (fetch) or output index (write).
+  std::vector<Operand> srcs;
+};
+
+/// Declared interface of a kernel: what the paper calls the kernel
+/// parameters (number of inputs, outputs, constants, data type) plus which
+/// memory paths it uses.
+struct Signature {
+  unsigned inputs = 0;
+  unsigned outputs = 0;
+  unsigned constants = 0;
+  DataType type = DataType::kFloat;
+  ReadPath read_path = ReadPath::kTexture;
+  WritePath write_path = WritePath::kStream;
+};
+
+/// A complete IL kernel: signature + linear instruction list over virtual
+/// registers (SSA-like: each virtual register is defined exactly once).
+struct Kernel {
+  std::string name = "kernel";
+  Signature sig;
+  std::vector<Inst> code;
+
+  unsigned CountFetchOps() const;
+  unsigned CountAluOps() const;
+  unsigned CountWriteOps() const;
+};
+
+}  // namespace amdmb::il

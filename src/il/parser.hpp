@@ -1,0 +1,30 @@
+// Parser for the IL text format emitted by il::Print — the inverse of
+// the printer, so kernels can be stored, edited by hand, and fed back
+// through the compiler and simulator (see kernel_explorer --il-file).
+//
+// Grammar (line-based):
+//   il_ps_2_0 ; <name>          or  il_cs_2_0 ; <name>
+//   ; type=<Float|Float4> read=<Texture|Global> write=<Stream|Global>
+//   dcl_input i0[..iN]
+//   dcl_cb cb0[K]
+//   dcl_output o0[..oM]
+//   <mnemonic> <dst>, <src>...  one instruction per line
+//   ;; clause_break
+//   end
+// Operands: rN (virtual register), iN (input, fetch only), oN (output,
+// write only), cb0[K] (constant), l(x.y) (literal).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "il/il.hpp"
+
+namespace amdmb::il {
+
+/// Parses kernel text; throws ConfigError with a line-numbered message
+/// on malformed input. The returned kernel passes Verify() iff the text
+/// described a valid kernel (parsing itself does not verify).
+Kernel Parse(std::string_view text);
+
+}  // namespace amdmb::il

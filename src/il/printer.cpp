@@ -1,0 +1,71 @@
+#include "il/printer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace amdmb::il {
+
+namespace {
+
+void PrintOperand(std::ostringstream& os, const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kVirtualReg:
+      os << "r" << op.index;
+      break;
+    case OperandKind::kConstBuf:
+      os << "cb0[" << op.index << "]";
+      break;
+    case OperandKind::kLiteral:
+      os << "l(" << op.literal << ")";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Print(const Kernel& kernel) {
+  std::ostringstream os;
+  const bool pixel = kernel.sig.write_path == WritePath::kStream;
+  os << (pixel ? "il_ps_2_0" : "il_cs_2_0") << " ; " << kernel.name << "\n";
+  os << "; type=" << ToString(kernel.sig.type)
+     << " read=" << ToString(kernel.sig.read_path)
+     << " write=" << ToString(kernel.sig.write_path) << "\n";
+  if (kernel.sig.inputs > 0) {
+    os << "dcl_input i0";
+    if (kernel.sig.inputs > 1) os << "..i" << (kernel.sig.inputs - 1);
+    os << "\n";
+  }
+  if (kernel.sig.constants > 0) {
+    os << "dcl_cb cb0[" << kernel.sig.constants << "]\n";
+  }
+  if (kernel.sig.outputs > 0) {
+    os << "dcl_output o0";
+    if (kernel.sig.outputs > 1) os << "..o" << (kernel.sig.outputs - 1);
+    os << "\n";
+  }
+
+  for (const Inst& inst : kernel.code) {
+    if (IsMeta(inst.op)) {
+      os << "  " << Mnemonic(inst.op) << "\n";
+      continue;
+    }
+    os << "  " << std::left << std::setw(10) << Mnemonic(inst.op);
+    if (IsFetch(inst.op)) {
+      os << "r" << inst.dst << ", i" << inst.resource;
+    } else if (IsWrite(inst.op)) {
+      os << "o" << inst.resource << ", ";
+      PrintOperand(os, inst.srcs.front());
+    } else {
+      os << "r" << inst.dst;
+      for (const Operand& src : inst.srcs) {
+        os << ", ";
+        PrintOperand(os, src);
+      }
+    }
+    os << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+}  // namespace amdmb::il

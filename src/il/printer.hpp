@@ -1,0 +1,19 @@
+// Textual rendering of IL kernels (AMD IL-flavoured assembly listing).
+#pragma once
+
+#include <string>
+
+#include "il/il.hpp"
+
+namespace amdmb::il {
+
+/// Renders a kernel as IL-style text: declarations followed by one
+/// instruction per line, e.g.
+///   il_ps_2_0 ; generic_16in
+///   dcl_input  i0..i15 (float4, texture)
+///   sample r0, i0
+///   add    r2, r0, r1
+///   export o0, r17
+std::string Print(const Kernel& kernel);
+
+}  // namespace amdmb::il

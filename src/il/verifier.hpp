@@ -1,0 +1,28 @@
+// IL validity rules, mirroring the CAL compiler behaviours the paper has
+// to work around (Sec. III): a kernel must have at least one output or
+// the compiler optimizes it away entirely; every declared and sampled
+// input must be used or the compiler removes the fetch; virtual registers
+// are single-assignment and must be defined before use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "il/il.hpp"
+
+namespace amdmb::il {
+
+/// Result of verification: empty `problems` means the kernel is valid.
+struct VerifyResult {
+  std::vector<std::string> problems;
+  bool ok() const { return problems.empty(); }
+  /// All problems joined with "; " (empty string when valid).
+  std::string Message() const;
+};
+
+VerifyResult Verify(const Kernel& kernel);
+
+/// Throws ConfigError with the verification message if invalid.
+void VerifyOrThrow(const Kernel& kernel);
+
+}  // namespace amdmb::il

@@ -1,0 +1,60 @@
+#include "mem/cache.hpp"
+
+#include "common/status.hpp"
+
+namespace amdmb::mem {
+
+TextureCache::TextureCache(const CacheConfig& config) : config_(config) {
+  Require(config.line_bytes > 0 && config.associativity > 0,
+          "TextureCache: line size and associativity must be positive");
+  const auto lines = config.size_bytes / config.line_bytes;
+  Require(lines >= config.associativity,
+          "TextureCache: capacity below one full set");
+  set_count_ = static_cast<unsigned>(lines / config.associativity);
+  Require(!config.two_d_index || (set_count_ >= 2 && set_count_ % 2 == 0),
+          "TextureCache: 2-D indexing needs an even set count");
+  ways_.assign(static_cast<std::size_t>(set_count_) * config.associativity,
+               Way{});
+}
+
+unsigned TextureCache::SetIndex(const LineId& line) const {
+  const std::uint64_t line_number = line.address / config_.line_bytes;
+  if (!config_.two_d_index) {
+    return static_cast<unsigned>(line_number % set_count_);
+  }
+  // Two set groups selected by the tile-row parity; the line address
+  // indexes within a group. A pattern that stays on one tile row (64x1
+  // blocks) touches only one group => half the effective capacity.
+  const unsigned group = line.tile_row & 1u;
+  const unsigned half = set_count_ / 2;
+  return static_cast<unsigned>(line_number % half) + group * half;
+}
+
+bool TextureCache::Probe(const LineId& line) {
+  const unsigned set = SetIndex(line);
+  Way* begin = &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  Way* end = begin + config_.associativity;
+  ++tick_;
+  const std::uint64_t tag = line.address / config_.line_bytes;
+  Way* victim = begin;
+  for (Way* w = begin; w != end; ++w) {
+    if (w->tag == tag) {
+      w->lru = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (w->lru < victim->lru) victim = w;
+  }
+  victim->tag = tag;
+  victim->lru = tick_;
+  ++stats_.misses;
+  return false;
+}
+
+void TextureCache::Reset() {
+  for (Way& w : ways_) w = Way{};
+  tick_ = 0;
+  stats_ = CacheStats{};
+}
+
+}  // namespace amdmb::mem

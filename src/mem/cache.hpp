@@ -1,0 +1,65 @@
+// Set-associative texture cache with 2-D set indexing.
+//
+// The paper observes (Sec. IV-A) that the texture cache "is two
+// dimensions, so when using a 64x1 block size (a one dimension block
+// size) only half the cache is used". We model that by splitting the
+// sets into two groups selected by the low bit of the texel *tile row*:
+// an access pattern confined to one tile row at a time can only ever
+// index half the sets, while 2-D patterns (the pixel-shader rasterizer,
+// 4x16 compute blocks) spread over both groups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/tiling.hpp"
+
+namespace amdmb::mem {
+
+struct CacheConfig {
+  Bytes size_bytes = 160 * 1024;
+  Bytes line_bytes = 64;
+  unsigned associativity = 8;
+  bool two_d_index = true;  ///< Ablation switch for the 2-D set split.
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double HitRate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// LRU set-associative cache over line ids. Probe() inserts on miss and
+/// reports whether the line was already resident.
+class TextureCache {
+ public:
+  explicit TextureCache(const CacheConfig& config);
+
+  /// True on hit. On miss the line is filled (possibly evicting LRU).
+  bool Probe(const LineId& line);
+
+  void Reset();
+
+  const CacheStats& Stats() const { return stats_; }
+  unsigned SetCount() const { return set_count_; }
+
+ private:
+  unsigned SetIndex(const LineId& line) const;
+
+  struct Way {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t lru = 0;
+  };
+
+  CacheConfig config_;
+  unsigned set_count_;
+  std::vector<Way> ways_;  ///< set-major, associativity entries per set.
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace amdmb::mem

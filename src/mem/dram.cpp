@@ -1,0 +1,86 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace amdmb::mem {
+
+MemoryController::MemoryController(const GpuArch& arch) : arch_(&arch) {
+  Require(arch.dram.banks > 0 && arch.dram.row_bytes > 0,
+          "MemoryController: bank/row geometry must be positive");
+  open_rows_.assign(arch.dram.banks, ~0ull);
+}
+
+void MemoryController::Reset() {
+  free_at_ = 0;
+  std::fill(open_rows_.begin(), open_rows_.end(), ~0ull);
+  stats_ = DramStats{};
+}
+
+Cycles MemoryController::RowPenalty(std::span<const std::uint64_t> addrs) {
+  Cycles penalty = 0;
+  for (std::uint64_t addr : addrs) {
+    const std::uint64_t row = addr / arch_->dram.row_bytes;
+    const auto bank = static_cast<std::size_t>(row % arch_->dram.banks);
+    if (open_rows_[bank] != row) {
+      open_rows_[bank] = row;
+      penalty += arch_->dram.row_switch_cycles;
+      ++stats_.row_switches;
+    }
+  }
+  return penalty;
+}
+
+BatchResult MemoryController::Serve(Cycles now, double bytes_per_cycle,
+                                    Cycles overhead, Bytes bytes,
+                                    Cycles extra) {
+  Check(bytes_per_cycle > 0.0, "MemoryController: zero bandwidth");
+  const auto transfer = static_cast<Cycles>(
+      std::ceil(static_cast<double>(bytes) / bytes_per_cycle));
+  const Cycles start = std::max(now, free_at_);
+  const Cycles cost = overhead + transfer + extra;
+  free_at_ = start + cost;
+  stats_.busy_cycles += cost;
+  ++stats_.batches;
+  return BatchResult{start, free_at_};
+}
+
+BatchResult MemoryController::FillLines(
+    Cycles now, std::span<const std::uint64_t> line_addrs, Bytes line_bytes) {
+  if (line_addrs.empty()) return BatchResult{now, now};
+  const Cycles penalty = RowPenalty(line_addrs);
+  const Bytes bytes = line_addrs.size() * line_bytes;
+  stats_.read_bytes += bytes;
+  const BatchResult r = Serve(now, arch_->dram.fill_bytes_per_cycle,
+                              /*overhead=*/0, bytes, penalty);
+  stats_.fill_busy_cycles += r.end - r.start;
+  return r;
+}
+
+BatchResult MemoryController::GlobalRead(Cycles now, std::uint64_t addr,
+                                         Bytes bytes) {
+  (void)addr;  // Coalesced wavefront reads burst; no per-row modelling.
+  stats_.read_bytes += bytes;
+  return Serve(now, arch_->dram.read_bytes_per_cycle,
+               arch_->global_read_instr_overhead, bytes, /*extra=*/0);
+}
+
+BatchResult MemoryController::GlobalWrite(Cycles now, std::uint64_t addr,
+                                          Bytes bytes) {
+  (void)addr;
+  stats_.write_bytes += bytes;
+  return Serve(now, arch_->dram.write_bytes_per_cycle,
+               arch_->global_write_instr_overhead, bytes, /*extra=*/0);
+}
+
+BatchResult MemoryController::StreamStore(Cycles now, std::uint64_t addr,
+                                          Bytes bytes) {
+  (void)addr;
+  stats_.write_bytes += bytes;
+  return Serve(now, arch_->stream_store_bytes_per_cycle,
+               arch_->stream_store_instr_overhead, bytes, /*extra=*/0);
+}
+
+}  // namespace amdmb::mem

@@ -1,0 +1,68 @@
+#include "mem/texture_unit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace amdmb::mem {
+
+TextureUnitBlock::TextureUnitBlock(const GpuArch& arch, TextureCache& cache,
+                                   MemoryController& controller)
+    : arch_(&arch), cache_(&cache), controller_(&controller) {}
+
+Cycles TextureUnitBlock::ServicePerFetch(DataType type,
+                                         unsigned active_threads) const {
+  const double bytes =
+      static_cast<double>(active_threads) * ElementBytes(type);
+  const double per_cycle =
+      arch_->tex_units_per_simd * arch_->tex_bytes_per_unit_cycle;
+  return static_cast<Cycles>(std::ceil(bytes / per_cycle));
+}
+
+TexClauseTiming TextureUnitBlock::ServeClause(
+    Cycles now, DataType type, unsigned active_threads,
+    std::span<const std::vector<LineId>> lines_per_fetch) {
+  TexClauseTiming t;
+  t.start = std::max(now, free_at_);
+  const Cycles per_fetch = ServicePerFetch(type, active_threads);
+  const Cycles service = per_fetch * lines_per_fetch.size();
+  free_at_ = t.start + service;
+  t.service_end = free_at_;
+  busy_ += service;
+
+  // All of the clause's misses coalesce into a single controller batch:
+  // the texture units stream the clause's fills back-to-back, so the
+  // shared controller charges one contiguous transfer rather than one
+  // (rounded-up) transaction per fetch instruction.
+  Cycles last_fill_end = 0;
+  fill_addrs_.clear();
+  for (const std::vector<LineId>& lines : lines_per_fetch) {
+    bool instr_missed = false;
+    for (const LineId& line : lines) {
+      if (!cache_->Probe(line)) {
+        fill_addrs_.push_back(line.address);
+        instr_missed = true;
+      } else {
+        ++t.line_hits;
+      }
+    }
+    if (instr_missed) ++t.miss_instrs;
+  }
+  if (!fill_addrs_.empty()) {
+    t.line_misses = static_cast<unsigned>(fill_addrs_.size());
+    const BatchResult fill =
+        controller_->FillLines(t.start, fill_addrs_, arch_->l1.line_bytes);
+    last_fill_end = fill.end;
+  }
+
+  t.complete = t.service_end + arch_->tex_hit_latency +
+               static_cast<Cycles>(t.miss_instrs) *
+                   arch_->tex_miss_stall_cycles;
+  if (last_fill_end != 0) {
+    t.complete = std::max(t.complete, last_fill_end + arch_->tex_hit_latency);
+  }
+  return t;
+}
+
+}  // namespace amdmb::mem

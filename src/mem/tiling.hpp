@@ -1,0 +1,59 @@
+// Texture memory tiling.
+//
+// AMD GPUs store textures in a tiled layout: one cache line covers a 2-D
+// block of texels, which is why the texture cache behaves "in two
+// dimensions" (paper Sec. IV-A) and why block shape matters so much in
+// compute mode. This module maps texel coordinates to cache-line ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace amdmb::mem {
+
+/// Geometry of the 2-D texel block covered by one cache line.
+struct TileShape {
+  unsigned width = 4;   ///< Texels in x.
+  unsigned height = 4;  ///< Texels in y.
+  unsigned TexelCount() const { return width * height; }
+};
+
+/// Near-square tile covering `line_bytes / element_bytes` texels, wider
+/// than tall when not square (e.g. 64B line, 4B texel -> 4x4; 64B line,
+/// 16B texel -> 2x2; 128B line, 4B texel -> 8x4).
+TileShape TileFor(Bytes line_bytes, Bytes element_bytes);
+
+/// Identifies one cache line of one texture resource.
+struct LineId {
+  std::uint64_t address = 0;  ///< Line-aligned byte address (global).
+  std::uint32_t tile_row = 0; ///< Tile row (for 2-D cache set indexing).
+
+  bool operator==(const LineId&) const = default;
+};
+
+/// Maps texel coordinates of a W x H texture at `base_address` to line
+/// ids under the given tile shape.
+class TiledLayout {
+ public:
+  TiledLayout(std::uint64_t base_address, unsigned width_texels,
+              TileShape tile, Bytes line_bytes);
+
+  LineId LineOf(unsigned x, unsigned y) const;
+
+  /// Number of distinct lines a W-texel-wide texture occupies per tile row.
+  unsigned TilesPerRow() const { return tiles_per_row_; }
+
+ private:
+  std::uint64_t base_;
+  TileShape tile_;
+  Bytes line_bytes_;
+  unsigned tiles_per_row_;
+};
+
+/// Row-major linear address of element (x, y) in a W-wide global buffer.
+std::uint64_t LinearAddress(std::uint64_t base, unsigned width,
+                            unsigned x, unsigned y, Bytes element_bytes);
+
+}  // namespace amdmb::mem

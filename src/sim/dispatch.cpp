@@ -1,0 +1,56 @@
+#include "sim/dispatch.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace amdmb::sim {
+
+namespace {
+
+std::vector<WaveRect> TileDispatch(const Domain& domain, unsigned tile_w,
+                                   unsigned tile_h) {
+  std::vector<WaveRect> waves;
+  waves.reserve(static_cast<std::size_t>(domain.width / tile_w) *
+                (domain.height / tile_h));
+  for (unsigned ty = 0; ty < domain.height; ty += tile_h) {
+    for (unsigned tx = 0; tx < domain.width; tx += tile_w) {
+      waves.push_back(WaveRect{tx, ty, tile_w, tile_h});
+    }
+  }
+  return waves;
+}
+
+}  // namespace
+
+std::vector<WaveRect> DispatchPixel(const Domain& domain,
+                                    unsigned wavefront_size) {
+  const auto tile = static_cast<unsigned>(
+      std::lround(std::sqrt(static_cast<double>(wavefront_size))));
+  Require(tile * tile == wavefront_size,
+          "DispatchPixel: wavefront size must be a perfect square");
+  Require(domain.width % tile == 0 && domain.height % tile == 0,
+          "DispatchPixel: domain must be a multiple of the 8x8 raster tile");
+  return TileDispatch(domain, tile, tile);
+}
+
+std::vector<WaveRect> DispatchCompute(const Domain& domain, BlockShape block,
+                                      unsigned wavefront_size) {
+  Require(block.ThreadCount() == wavefront_size,
+          "DispatchCompute: block must hold exactly one wavefront");
+  Require(domain.width % block.x == 0 && domain.height % block.y == 0,
+          "DispatchCompute: domain must be a multiple of the block shape "
+          "(compute elements pad to the wavefront size)");
+  return TileDispatch(domain, block.x, block.y);
+}
+
+std::vector<WaveRect> BuildDispatch(const Domain& domain, ShaderMode mode,
+                                    BlockShape block,
+                                    unsigned wavefront_size) {
+  Require(domain.ThreadCount() > 0, "BuildDispatch: empty domain");
+  return mode == ShaderMode::kPixel
+             ? DispatchPixel(domain, wavefront_size)
+             : DispatchCompute(domain, block, wavefront_size);
+}
+
+}  // namespace amdmb::sim

@@ -1,0 +1,46 @@
+// Wavefront dispatch: maps an execution domain to the sequence of
+// 64-thread wavefronts the hardware schedules.
+//
+// Pixel shader mode: the rasterizer walks the domain in 8x8 screen tiles
+// (a 2-D order the texture cache is optimised for — paper Sec. IV-A).
+// Compute shader mode: linear dispatch; the programmer picks the block
+// shape (64x1 naive, 4x16 optimised, ...) and the elements must pad to a
+// multiple of the wavefront size (Sec. IV-D).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace amdmb::sim {
+
+/// The rectangle of domain elements one wavefront covers. All dispatch
+/// shapes used by the paper (8x8 pixel tiles, 64x1 and 4x16 compute
+/// blocks) are rectangles.
+struct WaveRect {
+  unsigned x = 0;
+  unsigned y = 0;
+  unsigned width = 0;
+  unsigned height = 0;
+
+  unsigned ThreadCount() const { return width * height; }
+  bool operator==(const WaveRect&) const = default;
+};
+
+/// Pixel-mode dispatch: 8x8 tiles in row-major tile order. The domain
+/// must be a multiple of the tile size (the paper sweeps domains in
+/// multiples of 8 in pixel mode).
+std::vector<WaveRect> DispatchPixel(const Domain& domain,
+                                    unsigned wavefront_size);
+
+/// Compute-mode dispatch: blocks of the given shape in row-major block
+/// order. The block must hold exactly one wavefront and divide the
+/// domain (the paper pads compute domains to multiples of 64).
+std::vector<WaveRect> DispatchCompute(const Domain& domain, BlockShape block,
+                                      unsigned wavefront_size);
+
+/// Dispatch for either mode.
+std::vector<WaveRect> BuildDispatch(const Domain& domain, ShaderMode mode,
+                                    BlockShape block, unsigned wavefront_size);
+
+}  // namespace amdmb::sim

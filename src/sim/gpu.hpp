@@ -1,0 +1,78 @@
+// Whole-GPU timing simulator.
+//
+// Event-driven at clause granularity: every resident wavefront advances
+// clause by clause; ALU clauses contend for the per-SIMD ALU pipeline,
+// TEX clauses for the per-SIMD texture units and the shared texture
+// cache, and all off-chip traffic funnels through one shared memory
+// controller. The simulator reports total cycles plus per-resource busy
+// shares, from which it classifies the kernel's bottleneck — the paper's
+// three metrics: ALU utilisation, texture fetch, memory access
+// (Sec. II-A).
+#pragma once
+
+#include <string>
+
+#include "arch/gpu_arch.hpp"
+#include "compiler/isa.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "sim/trace.hpp"
+
+namespace amdmb::sim {
+
+/// Kernel launch parameters (the per-run knobs the paper varies).
+/// Granularity at which resident wavefronts interleave on the ALU
+/// pipeline. Hardware interleaves per VLIW instruction; simulating in
+/// 32-bundle chunks keeps event counts low while making clause
+/// boundaries timing-neutral (the paper's Fig. 5 control experiment).
+inline constexpr unsigned kAluInterleaveBundles = 32;
+
+struct LaunchConfig {
+  Domain domain{1024, 1024};
+  ShaderMode mode = ShaderMode::kPixel;
+  BlockShape block{64, 1};  ///< Compute-mode block shape (64x1 naive).
+  /// The paper times 5000 back-to-back executions of each kernel
+  /// (Sec. III); reported seconds scale by this count.
+  unsigned repetitions = 5000;
+};
+
+/// Which hardware resource bounds the kernel (paper Sec. II-A).
+enum class Bottleneck { kAlu, kFetch, kMemory };
+
+std::string_view ToString(Bottleneck b);
+
+/// Everything one simulated launch reports.
+struct KernelStats {
+  Cycles cycles = 0;      ///< One launch, start to full drain.
+  double seconds = 0.0;   ///< All repetitions at the chip's core clock.
+  double alu_utilization = 0.0;   ///< Busiest SIMD's ALU pipeline share.
+  double fetch_utilization = 0.0; ///< Busiest SIMD's texture unit share.
+  double memory_utilization = 0.0;///< Shared memory controller share.
+  Bottleneck bottleneck = Bottleneck::kAlu;
+  mem::CacheStats cache;
+  mem::DramStats dram;
+  unsigned gpr_count = 0;
+  unsigned resident_wavefronts = 0;  ///< Per SIMD.
+  std::uint64_t wavefront_count = 0;
+
+  std::string Render() const;
+};
+
+class Gpu {
+ public:
+  explicit Gpu(GpuArch arch);
+
+  /// Simulates one launch of the compiled kernel. Throws ConfigError for
+  /// impossible launches (compute mode on RV670, streaming stores in
+  /// compute mode, non-wavefront-divisible domains). When `trace` is
+  /// non-null every executed clause is recorded into it.
+  KernelStats Execute(const isa::Program& program, const LaunchConfig& config,
+                      Trace* trace = nullptr);
+
+  const GpuArch& Arch() const { return arch_; }
+
+ private:
+  GpuArch arch_;
+};
+
+}  // namespace amdmb::sim

@@ -1,0 +1,21 @@
+#include "sim/simd_engine.hpp"
+
+#include <algorithm>
+
+#include "arch/occupancy.hpp"
+
+namespace amdmb::sim {
+
+SimdEngine::AluRun SimdEngine::RunAluClause(Cycles now, unsigned bundles,
+                                            unsigned resident_wavefronts) {
+  const unsigned slot_factor =
+      SingleSlotPenaltyApplies(resident_wavefronts) ? 2u : 1u;
+  const Cycles duration = static_cast<Cycles>(bundles) *
+                          arch_->CyclesPerBundle() * slot_factor;
+  const Cycles start = std::max(now, alu_free_);
+  alu_free_ = start + duration;
+  alu_busy_ += duration;
+  return AluRun{start, alu_free_};
+}
+
+}  // namespace amdmb::sim

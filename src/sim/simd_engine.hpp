@@ -1,0 +1,46 @@
+// Per-SIMD execution state: the ALU pipeline and the texture unit block.
+//
+// The SIMD interleaves its resident wavefronts: an ALU clause occupies
+// the ALU pipeline for 4 cycles per VLIW bundle (64 threads over 16
+// thread processors); a TEX clause occupies the texture units for its
+// service time while the owning wavefront waits out the fetch latency —
+// which other wavefronts hide by running their own clauses meanwhile
+// (paper Sec. II-A, Fig. 2 discussion).
+#pragma once
+
+#include "arch/gpu_arch.hpp"
+#include "mem/texture_unit.hpp"
+
+namespace amdmb::sim {
+
+class SimdEngine {
+ public:
+  SimdEngine(const GpuArch& arch, mem::TextureCache& cache,
+             mem::MemoryController& controller)
+      : arch_(&arch), tex_(arch, cache, controller) {}
+
+  struct AluRun {
+    Cycles start = 0;
+    Cycles end = 0;
+  };
+
+  /// Runs an ALU clause (or chunk) of `bundles` VLIW instructions
+  /// starting no earlier than `now`; returns when the pipe served it.
+  /// With fewer than two resident wavefronts only one of the odd/even
+  /// slots is filled and throughput halves.
+  AluRun RunAluClause(Cycles now, unsigned bundles,
+                      unsigned resident_wavefronts);
+
+  mem::TextureUnitBlock& TextureUnits() { return tex_; }
+
+  Cycles AluBusyCycles() const { return alu_busy_; }
+  Cycles TexBusyCycles() const { return tex_.BusyCycles(); }
+
+ private:
+  const GpuArch* arch_;
+  mem::TextureUnitBlock tex_;
+  Cycles alu_free_ = 0;
+  Cycles alu_busy_ = 0;
+};
+
+}  // namespace amdmb::sim

@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace amdmb::sim {
+
+std::string Trace::RenderSummary() const {
+  struct Agg {
+    std::uint64_t events = 0;
+    Cycles busy = 0;
+    Cycles queue = 0;
+    Cycles latency = 0;
+  };
+  std::map<isa::ClauseType, Agg> aggs;
+  for (const TraceEvent& e : events_) {
+    Agg& a = aggs[e.type];
+    ++a.events;
+    a.busy += e.complete - e.start;
+    a.queue += e.start - e.issue;
+    a.latency += e.complete - e.start;
+  }
+  TextTable table({"clause type", "events", "mean queue (cyc)",
+                   "mean service+latency (cyc)"});
+  for (const auto& [type, a] : aggs) {
+    table.AddRow({std::string(isa::ToString(type)), std::to_string(a.events),
+                  FormatDouble(static_cast<double>(a.queue) /
+                                   static_cast<double>(a.events), 1),
+                  FormatDouble(static_cast<double>(a.latency) /
+                                   static_cast<double>(a.events), 1)});
+  }
+  std::ostringstream os;
+  os << "Trace summary (" << events_.size() << " events";
+  if (dropped_ > 0) os << ", " << dropped_ << " dropped";
+  os << ")\n" << table.Render();
+  return os.str();
+}
+
+std::string Trace::RenderTimeline(std::size_t max_rows) const {
+  TextTable table({"issue", "start", "complete", "SIMD", "wave", "clause",
+                   "type"});
+  const std::size_t rows = std::min(max_rows, events_.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const TraceEvent& e = events_[i];
+    table.AddRow({std::to_string(e.issue), std::to_string(e.start),
+                  std::to_string(e.complete), std::to_string(e.simd),
+                  std::to_string(e.wave), std::to_string(e.clause),
+                  std::string(isa::ToString(e.type))});
+  }
+  std::ostringstream os;
+  os << table.Render();
+  if (events_.size() > rows) {
+    os << "... (" << events_.size() - rows << " more events)\n";
+  }
+  return os.str();
+}
+
+}  // namespace amdmb::sim

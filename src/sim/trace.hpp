@@ -1,0 +1,63 @@
+// Execution tracing: per-clause event records from the timing simulator,
+// with a text timeline and per-resource summaries. Useful for inspecting
+// *why* a kernel is bound where it is — which the aggregate counters in
+// KernelStats cannot show.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "compiler/isa.hpp"
+
+namespace amdmb::sim {
+
+/// One executed clause (or ALU-chunk) of one wavefront.
+struct TraceEvent {
+  Cycles issue = 0;     ///< When the wavefront wanted to run the clause.
+  Cycles start = 0;     ///< When the resource began serving it.
+  Cycles complete = 0;  ///< When the wavefront could proceed.
+  std::uint32_t wave = 0;
+  std::uint16_t simd = 0;
+  std::uint16_t clause = 0;
+  isa::ClauseType type = isa::ClauseType::kAlu;
+};
+
+/// Collects events during Gpu::Execute when attached via LaunchConfig.
+/// Collection is capped to bound memory on big launches; `dropped`
+/// counts events past the cap.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void Record(const TraceEvent& event) {
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  const std::vector<TraceEvent>& Events() const { return events_; }
+  std::uint64_t DroppedCount() const { return dropped_; }
+
+  /// Per-clause-type aggregate: events, busy cycles, mean queueing delay
+  /// (start - issue) and mean latency (complete - start).
+  std::string RenderSummary() const;
+
+  /// First `max_rows` events as a readable table, time-ordered as
+  /// recorded.
+  std::string RenderTimeline(std::size_t max_rows = 40) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace amdmb::sim

@@ -1,0 +1,52 @@
+// Launch-time resource geometry: where each input/output stream lives in
+// simulated memory and which cache lines / burst ranges a wavefront's
+// rectangle touches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "common/types.hpp"
+#include "il/il.hpp"
+#include "mem/tiling.hpp"
+#include "sim/dispatch.hpp"
+
+namespace amdmb::sim {
+
+/// Byte addresses of all declared streams of one launch. Inputs bound to
+/// the texture path get a tiled layout; global-path streams are linear.
+/// Bases are staggered by a few lines so that equally-sized inputs do not
+/// alias pathologically in the texture-cache index.
+class ResourceLayouts {
+ public:
+  ResourceLayouts(const GpuArch& arch, const il::Signature& sig,
+                  const Domain& domain);
+
+  /// Appends the distinct cache lines input `resource` contributes for a
+  /// wavefront covering `rect` (texture path only).
+  void LinesFor(unsigned resource, const WaveRect& rect,
+                std::vector<mem::LineId>& out) const;
+
+  /// Burst start address for a global read/write of `resource` by `rect`.
+  std::uint64_t GlobalAddress(unsigned resource, bool is_output,
+                              const WaveRect& rect) const;
+
+  /// Bytes one wavefront instruction moves for `rect`.
+  Bytes BytesFor(const WaveRect& rect) const {
+    return static_cast<Bytes>(rect.ThreadCount()) * ElementBytes(type_);
+  }
+
+  DataType type() const { return type_; }
+
+ private:
+  DataType type_;
+  Bytes line_bytes_;
+  mem::TileShape tile_;
+  std::vector<mem::TiledLayout> input_layouts_;  ///< Texture path only.
+  std::vector<std::uint64_t> input_bases_;
+  std::vector<std::uint64_t> output_bases_;
+  unsigned width_;
+};
+
+}  // namespace amdmb::sim

@@ -1,0 +1,64 @@
+#include "suite/alu_fetch.hpp"
+
+#include "common/status.hpp"
+#include "common/table.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::suite {
+
+AluFetchResult RunAluFetch(Runner& runner, ShaderMode mode, DataType type,
+                           const AluFetchConfig& config) {
+  Require(config.ratio_step > 0.0 && config.ratio_min > 0.0 &&
+              config.ratio_max >= config.ratio_min,
+          "AluFetch: invalid ratio sweep");
+  AluFetchResult result;
+
+  sim::LaunchConfig launch;
+  launch.domain = config.domain;
+  launch.mode = mode;
+  launch.block = config.block;
+  launch.repetitions = config.repetitions;
+
+  // Compute mode cannot write color buffers (Sec. IV-C).
+  const WritePath write = mode == ShaderMode::kCompute ? WritePath::kGlobal
+                                                       : config.write_path;
+
+  for (double ratio = config.ratio_min; ratio <= config.ratio_max + 1e-9;
+       ratio += config.ratio_step) {
+    GenericSpec spec;
+    spec.inputs = config.inputs;
+    spec.outputs = config.outputs;
+    spec.alu_ops = AluOpsForRatio(ratio, config.inputs);
+    spec.type = type;
+    spec.read_path = config.read_path;
+    spec.write_path = write;
+    spec.name = "alufetch_r" + FormatDouble(ratio, 2);
+    AluFetchPoint point;
+    point.ratio = ratio;
+    point.m = runner.Measure(GenerateGeneric(spec), launch);
+    if (!result.crossover.has_value() &&
+        point.m.stats.bottleneck == sim::Bottleneck::kAlu) {
+      result.crossover = ratio;
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+SeriesSet AluFetchFigure(const std::vector<CurveKey>& curves,
+                         const AluFetchConfig& config,
+                         const std::string& title) {
+  SeriesSet figure(title, "ALU:Fetch Ratio", "Time in seconds");
+  for (const CurveKey& key : curves) {
+    Runner runner(key.arch);
+    const AluFetchResult result =
+        RunAluFetch(runner, key.mode, key.type, config);
+    Series& series = figure.Get(key.Name());
+    for (const AluFetchPoint& p : result.points) {
+      series.Add(p.ratio, p.m.seconds);
+    }
+  }
+  return figure;
+}
+
+}  // namespace amdmb::suite

@@ -1,0 +1,52 @@
+// ALU:Fetch ratio micro-benchmark (paper Sec. III-A / IV-A, Figs. 7-10).
+//
+// Sweeps the SKA-normalised ALU:Fetch ratio and locates the crossover
+// where the kernel's bottleneck flips from the fetch path to the ALUs.
+// Output size stays 1 to keep the bottleneck on the ALU/fetch
+// relationship; read and write paths are configurable so the same sweep
+// reproduces Fig. 7 (texture read, streaming store), Fig. 9 (global
+// read, streaming store) and Fig. 10 (global read, global write).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/series.hpp"
+#include "suite/microbench.hpp"
+
+namespace amdmb::suite {
+
+struct AluFetchConfig {
+  unsigned inputs = 16;
+  unsigned outputs = 1;
+  double ratio_min = 0.25;
+  double ratio_max = 8.0;
+  double ratio_step = 0.25;
+  Domain domain{1024, 1024};
+  BlockShape block{64, 1};
+  ReadPath read_path = ReadPath::kTexture;
+  WritePath write_path = WritePath::kStream;
+  unsigned repetitions = kPaperRepetitions;
+};
+
+struct AluFetchPoint {
+  double ratio = 0.0;
+  Measurement m;
+};
+
+struct AluFetchResult {
+  std::vector<AluFetchPoint> points;
+  /// First swept ratio at which the simulator classifies the kernel as
+  /// ALU-bound, if it happens within the sweep.
+  std::optional<double> crossover;
+};
+
+AluFetchResult RunAluFetch(Runner& runner, ShaderMode mode, DataType type,
+                           const AluFetchConfig& config);
+
+/// Runs the sweep for every curve in `curves` and assembles the figure.
+SeriesSet AluFetchFigure(const std::vector<CurveKey>& curves,
+                         const AluFetchConfig& config,
+                         const std::string& title);
+
+}  // namespace amdmb::suite

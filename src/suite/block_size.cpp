@@ -1,0 +1,80 @@
+#include "suite/block_size.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::suite {
+
+std::vector<BlockShape> WavefrontBlockShapes(unsigned wavefront_size) {
+  Require(wavefront_size > 0 &&
+              (wavefront_size & (wavefront_size - 1)) == 0,
+          "WavefrontBlockShapes: wavefront size must be a power of two");
+  std::vector<BlockShape> shapes;
+  for (unsigned width = wavefront_size; width >= 1; width /= 2) {
+    shapes.push_back(BlockShape{width, wavefront_size / width});
+  }
+  return shapes;
+}
+
+BlockSizeResult RunBlockSizeExplorer(Runner& runner,
+                                     const BlockSizeConfig& config) {
+  Require(runner.Arch().supports_compute,
+          "block-size explorer requires compute shader mode");
+  GenericSpec spec;
+  spec.inputs = config.inputs;
+  spec.alu_ops = AluOpsForRatio(config.alu_fetch_ratio, config.inputs);
+  spec.type = config.type;
+  spec.read_path = ReadPath::kTexture;
+  spec.write_path = WritePath::kGlobal;
+  spec.name = "block_explorer";
+  const il::Kernel kernel = GenerateGeneric(spec);
+
+  BlockSizeResult result;
+  double naive_seconds = 0.0;
+  for (const BlockShape& block :
+       WavefrontBlockShapes(runner.Arch().wavefront_size)) {
+    // Every shape must divide the domain.
+    if (config.domain.width % block.x != 0 ||
+        config.domain.height % block.y != 0) {
+      continue;
+    }
+    sim::LaunchConfig launch;
+    launch.domain = config.domain;
+    launch.mode = ShaderMode::kCompute;
+    launch.block = block;
+    launch.repetitions = config.repetitions;
+    BlockSizePoint point;
+    point.block = block;
+    point.m = runner.Measure(kernel, launch);
+    if (result.points.empty() || point.m.seconds < result.best_seconds) {
+      result.best = block;
+      result.best_seconds = point.m.seconds;
+    }
+    if (block.y == 1) naive_seconds = point.m.seconds;
+    result.points.push_back(std::move(point));
+  }
+  Check(!result.points.empty(), "block explorer: no dividing shapes");
+  result.naive_penalty =
+      naive_seconds > 0.0 ? naive_seconds / result.best_seconds : 1.0;
+  return result;
+}
+
+SeriesSet BlockSizeFigure(const BlockSizeConfig& config,
+                          const std::string& title) {
+  SeriesSet figure(title, "log2(block width)", "Time in seconds");
+  for (const GpuArch& arch : AllArchs()) {
+    if (!arch.supports_compute) continue;
+    Runner runner(arch);
+    const BlockSizeResult result = RunBlockSizeExplorer(runner, config);
+    const CurveKey key{arch, ShaderMode::kCompute, config.type};
+    Series& series = figure.Get(key.Name());
+    for (const BlockSizePoint& p : result.points) {
+      series.Add(std::log2(static_cast<double>(p.block.x)), p.m.seconds);
+    }
+  }
+  return figure;
+}
+
+}  // namespace amdmb::suite

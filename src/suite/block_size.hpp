@@ -1,0 +1,52 @@
+// Block-size explorer — the extension the paper proposes in Sec. IV
+// ("it is possible that one can achieve greater performance by using
+// different block sizes (4x16 for example). It is also possible that
+// certain applications may perform better than others when using
+// different block sizes") and in its future work ("more explicitly
+// isolate parameters").
+//
+// Sweeps every rectangular one-wavefront block shape (64x1 .. 1x64) for
+// a given kernel in compute mode and reports the per-shape measurement,
+// the best shape, and the penalty of the naive 64x1 choice.
+#pragma once
+
+#include <vector>
+
+#include "common/series.hpp"
+#include "suite/microbench.hpp"
+
+namespace amdmb::suite {
+
+struct BlockSizeConfig {
+  unsigned inputs = 16;
+  double alu_fetch_ratio = 0.25;  ///< Fetch-bound, so block shape matters.
+  DataType type = DataType::kFloat4;
+  Domain domain{1024, 1024};
+  unsigned repetitions = kPaperRepetitions;
+};
+
+struct BlockSizePoint {
+  BlockShape block;
+  Measurement m;
+};
+
+struct BlockSizeResult {
+  std::vector<BlockSizePoint> points;  ///< One per shape, wide to tall.
+  BlockShape best;
+  double best_seconds = 0.0;
+  /// Slowdown of the naive 64x1 shape relative to the best.
+  double naive_penalty = 1.0;
+};
+
+/// All one-wavefront rectangular block shapes for the wavefront size
+/// (64x1, 32x2, 16x4, 8x8, 4x16, 2x32, 1x64 for 64-thread wavefronts).
+std::vector<BlockShape> WavefrontBlockShapes(unsigned wavefront_size);
+
+BlockSizeResult RunBlockSizeExplorer(Runner& runner,
+                                     const BlockSizeConfig& config);
+
+/// Figure: one curve per GPU (compute-capable), x = log2(block width).
+SeriesSet BlockSizeFigure(const BlockSizeConfig& config,
+                          const std::string& title);
+
+}  // namespace amdmb::suite

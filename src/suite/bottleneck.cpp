@@ -1,0 +1,63 @@
+#include "suite/bottleneck.hpp"
+
+#include <sstream>
+
+namespace amdmb::suite {
+
+Advice Advise(const Measurement& m, ShaderMode mode, BlockShape block) {
+  Advice advice;
+  advice.bound = m.stats.bottleneck;
+  auto add = [&](std::string s) { advice.suggestions.push_back(std::move(s)); };
+
+  switch (m.stats.bottleneck) {
+    case sim::Bottleneck::kAlu:
+      add("Kernel is ALU-bound: additional fetches and/or outputs are free "
+          "until the bound flips; consider merging low-arithmetic-intensity "
+          "work into this kernel (Sec. IV-A).");
+      if (m.ska.alu_fetch_ratio > compiler::kBalancedRatioHigh) {
+        add("Static ALU:Fetch ratio " +
+            std::to_string(m.ska.alu_fetch_ratio).substr(0, 4) +
+            " is above the SKA balanced window [0.98, 1.09]; the GPU's "
+            "fetch units are idle.");
+      }
+      break;
+    case sim::Bottleneck::kFetch:
+      add("Kernel is fetch-bound: increase ALU operations per fetch or "
+          "outputs per fetch to move toward ALU-bound (Sec. IV-B).");
+      if (m.stats.resident_wavefronts < 8) {
+        add("Only " + std::to_string(m.stats.resident_wavefronts) +
+            " wavefronts/SIMD are resident; reducing the " +
+            std::to_string(m.stats.gpr_count) +
+            " GPRs (e.g. sampling inputs right before use) raises occupancy "
+            "and hides fetch latency (Sec. IV-E).");
+      }
+      if (m.stats.cache.HitRate() < 0.5) {
+        add("Texture cache hit rate is " +
+            std::to_string(m.stats.cache.HitRate()).substr(0, 4) +
+            "; raise it by increasing elements per block or reducing "
+            "simultaneous wavefronts (the paper's 'dummy register' trick).");
+      }
+      if (mode == ShaderMode::kCompute && block.y == 1) {
+        add("Compute mode with a one-dimensional " + std::to_string(block.x) +
+            "x1 block uses only half of the two-dimensional texture cache; "
+            "a 2-D block such as 4x16 raises the cache hit rate "
+            "(Sec. IV-A).");
+      }
+      break;
+    case sim::Bottleneck::kMemory:
+      add("Kernel is memory(write)-bound: ALU and fetch instructions can be "
+          "added with no performance decrease until the bound changes "
+          "(Sec. IV-C).");
+      break;
+  }
+  return advice;
+}
+
+std::string Advice::Render() const {
+  std::ostringstream os;
+  os << "bottleneck: " << sim::ToString(bound) << "\n";
+  for (const std::string& s : suggestions) os << "  - " << s << "\n";
+  return os.str();
+}
+
+}  // namespace amdmb::suite

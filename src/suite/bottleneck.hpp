@@ -1,0 +1,30 @@
+// Bottleneck reporting and the optimisation advisor (paper Sec. IV).
+//
+// The suite's headline use: classify which of the three hardware limits
+// (ALU utilisation, texture fetch, memory access) binds a kernel and
+// suggest the optimisation direction the paper prescribes for each —
+// e.g. ALU-bound StreamSDK samples (Binomial Option Pricing) can absorb
+// extra fetches for free; fetch-bound ones (matrix multiply) want more
+// ALU per fetch, fewer GPRs, or a 2-D block size; write-bound ones
+// (Monte Carlo) can absorb extra ALU/fetch work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "suite/microbench.hpp"
+
+namespace amdmb::suite {
+
+struct Advice {
+  sim::Bottleneck bound = sim::Bottleneck::kAlu;
+  std::vector<std::string> suggestions;
+
+  std::string Render() const;
+};
+
+/// Derives optimisation advice from a measurement (Sec. IV-A/B/C
+/// guidance plus the register/cache trade-off of Sec. IV-E).
+Advice Advise(const Measurement& m, ShaderMode mode, BlockShape block);
+
+}  // namespace amdmb::suite

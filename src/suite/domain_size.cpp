@@ -1,0 +1,64 @@
+#include "suite/domain_size.hpp"
+
+#include "common/status.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::suite {
+
+DomainSizeResult RunDomainSize(Runner& runner, ShaderMode mode, DataType type,
+                               const DomainSizeConfig& config) {
+  Require(config.min_size > 0 && config.max_size >= config.min_size,
+          "DomainSize: invalid sweep");
+  const unsigned increment = mode == ShaderMode::kPixel
+                                 ? config.pixel_increment
+                                 : config.compute_increment;
+  Require(increment > 0, "DomainSize: increment must be positive");
+
+  GenericSpec spec;
+  spec.inputs = config.inputs;
+  spec.outputs = 1;
+  spec.alu_ops = AluOpsForRatio(config.alu_fetch_ratio, config.inputs);
+  spec.type = type;
+  spec.read_path = ReadPath::kTexture;
+  spec.write_path =
+      mode == ShaderMode::kCompute ? WritePath::kGlobal : WritePath::kStream;
+  spec.name = "domain_sweep";
+  const il::Kernel kernel = GenerateGeneric(spec);
+
+  DomainSizeResult result;
+  for (unsigned size = config.min_size; size <= config.max_size;
+       size += increment) {
+    sim::LaunchConfig launch;
+    launch.domain = Domain{size, size};
+    launch.mode = mode;
+    launch.block = config.block;
+    launch.repetitions = config.repetitions;
+    DomainSizePoint point;
+    point.size = size;
+    point.m = runner.Measure(kernel, launch);
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+SeriesSet DomainSizeFigure(ShaderMode mode, DataType type,
+                           const DomainSizeConfig& config,
+                           const std::string& title) {
+  SeriesSet figure(title, "Domain Size", "Time in seconds");
+  for (const GpuArch& arch : AllArchs()) {
+    if (mode == ShaderMode::kCompute && !arch.supports_compute) continue;
+    Runner runner(arch);
+    const DomainSizeResult result = RunDomainSize(runner, mode, type, config);
+    const CurveKey key{arch, mode, type};
+    // Fig. 15 labels curves by card only.
+    std::string label = key.Name();
+    label = label.substr(0, label.find(' '));
+    Series& series = figure.Get(label);
+    for (const DomainSizePoint& p : result.points) {
+      series.Add(p.size, p.m.seconds);
+    }
+  }
+  return figure;
+}
+
+}  // namespace amdmb::suite

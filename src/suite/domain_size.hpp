@@ -1,0 +1,45 @@
+// Domain-size micro-benchmark (paper Sec. III-D, Fig. 15).
+//
+// Sweeps square domains with an ALU:Fetch ratio of 10 (firmly ALU-bound),
+// eight inputs and one output (constant GPRs, constant occupancy). The
+// expected picture is overall-linear growth with small local wobble from
+// wavefront-count imbalance across SIMD engines — the paper's evidence
+// that a large thread count is needed to keep the GPU busy.
+#pragma once
+
+#include <vector>
+
+#include "common/series.hpp"
+#include "suite/microbench.hpp"
+
+namespace amdmb::suite {
+
+struct DomainSizeConfig {
+  unsigned min_size = 256;
+  unsigned max_size = 1024;
+  unsigned pixel_increment = 8;     ///< Paper: 8x8 steps in pixel mode.
+  unsigned compute_increment = 64;  ///< Paper: 64x64 steps (pad to 64).
+  unsigned inputs = 8;
+  double alu_fetch_ratio = 10.0;
+  BlockShape block{64, 1};
+  unsigned repetitions = kPaperRepetitions;
+};
+
+struct DomainSizePoint {
+  unsigned size = 0;  ///< Square domain edge.
+  Measurement m;
+};
+
+struct DomainSizeResult {
+  std::vector<DomainSizePoint> points;
+};
+
+DomainSizeResult RunDomainSize(Runner& runner, ShaderMode mode, DataType type,
+                               const DomainSizeConfig& config);
+
+/// Fig. 15a/b layout: one curve per GPU for the given mode.
+SeriesSet DomainSizeFigure(ShaderMode mode, DataType type,
+                           const DomainSizeConfig& config,
+                           const std::string& title);
+
+}  // namespace amdmb::suite

@@ -1,0 +1,212 @@
+#include "suite/kernelgen.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+#include "il/builder.hpp"
+#include "il/verifier.hpp"
+
+namespace amdmb::suite {
+
+namespace {
+
+using il::Operand;
+
+/// Chain state: the last two values, so the generator can emit the
+/// paper's r[reg] = r[reg-1] + r[reg-2] dependent adds.
+struct Chain {
+  unsigned last = 0;
+  unsigned prev = 0;
+  bool has_prev = false;
+
+  void Push(unsigned reg) {
+    prev = last;
+    has_prev = true;
+    last = reg;
+  }
+};
+
+/// Emits `count` dependent chain adds.
+void EmitChain(il::Builder& b, Chain& chain, unsigned count) {
+  for (unsigned i = 0; i < count; ++i) {
+    Check(chain.has_prev, "EmitChain: chain needs two live values");
+    chain.Push(b.Add(Operand::Reg(chain.last), Operand::Reg(chain.prev)));
+  }
+}
+
+/// Folds `values` into the chain, one add per value (the Fig. 3 input
+/// loop). The first two values seed the chain when it is empty.
+unsigned FoldInputs(il::Builder& b, Chain& chain,
+                    const std::vector<unsigned>& values) {
+  unsigned ops = 0;
+  std::size_t i = 0;
+  if (!chain.has_prev) {
+    Check(values.size() >= 2, "FoldInputs: need two values to seed chain");
+    chain.prev = values[0];
+    chain.last = b.Add(Operand::Reg(values[0]), Operand::Reg(values[1]));
+    chain.has_prev = true;
+    i = 2;
+    ++ops;
+  }
+  for (; i < values.size(); ++i) {
+    chain.Push(b.Add(Operand::Reg(chain.last), Operand::Reg(values[i])));
+    ++ops;
+  }
+  return ops;
+}
+
+void WriteOutputs(il::Builder& b, Chain& chain, unsigned outputs) {
+  // The paper writes the tail of the chain; with multiple outputs each
+  // output gets its own chain value so every write has a distinct source.
+  std::vector<unsigned> tail;
+  tail.push_back(chain.last);
+  for (unsigned o = 1; o < outputs; ++o) {
+    chain.Push(b.Add(Operand::Reg(chain.last), Operand::Reg(chain.prev)));
+    tail.push_back(chain.last);
+  }
+  for (unsigned o = 0; o < outputs; ++o) b.Write(o, tail[o]);
+}
+
+il::Signature MakeSignature(unsigned inputs, unsigned outputs,
+                            unsigned constants, DataType type, ReadPath read,
+                            WritePath write) {
+  il::Signature sig;
+  sig.inputs = inputs;
+  sig.outputs = outputs;
+  sig.constants = constants;
+  sig.type = type;
+  sig.read_path = read;
+  sig.write_path = write;
+  return sig;
+}
+
+}  // namespace
+
+unsigned AluOpsForRatio(double ratio, unsigned inputs) {
+  Require(ratio > 0.0, "AluOpsForRatio: ratio must be positive");
+  return static_cast<unsigned>(std::lround(ratio * 4.0 * inputs));
+}
+
+il::Kernel GenerateGeneric(const GenericSpec& spec) {
+  Require(spec.inputs >= 2, "GenerateGeneric: need at least two inputs");
+  Require(spec.outputs >= 1, "GenerateGeneric: need at least one output");
+  Require(spec.alu_ops >= spec.inputs - 1,
+          "GenerateGeneric: ALU budget cannot fold all inputs");
+
+  il::Builder b(spec.name,
+                MakeSignature(spec.inputs, spec.outputs, spec.constants,
+                              spec.type, spec.read_path, spec.write_path));
+  // Fig. 3: all sampling happens before any ALU op.
+  std::vector<unsigned> fetched;
+  fetched.reserve(spec.inputs);
+  for (unsigned i = 0; i < spec.inputs; ++i) fetched.push_back(b.Fetch(i));
+
+  Chain chain;
+  unsigned ops = FoldInputs(b, chain, fetched);
+  // The extra per-output chain adds below count toward the budget.
+  const unsigned extra_for_outputs = spec.outputs - 1;
+  Check(spec.alu_ops >= ops + extra_for_outputs,
+        "GenerateGeneric: ALU budget too small for outputs");
+  EmitChain(b, chain, spec.alu_ops - ops - extra_for_outputs);
+  WriteOutputs(b, chain, spec.outputs);
+  il::Kernel kernel = std::move(b).Build();
+  il::VerifyOrThrow(kernel);
+  return kernel;
+}
+
+namespace {
+
+/// Shared shape of the Fig. 6 / Fig. 5 kernels: how many inputs are
+/// sampled up front and how the ALU budget splits into step+1 segments.
+struct UsagePlan {
+  unsigned initial_inputs = 0;
+  unsigned total_alu_ops = 0;
+  std::vector<unsigned> segment_ops;  ///< step+1 entries summing to total.
+};
+
+UsagePlan PlanUsage(const RegisterUsageSpec& spec) {
+  Require(spec.space >= 1, "register usage: space must be >= 1");
+  Require(spec.inputs > spec.space * spec.step + 1,
+          "register usage: space*step must leave at least two initial inputs");
+  UsagePlan plan;
+  plan.initial_inputs = spec.inputs - spec.space * spec.step;
+  plan.total_alu_ops = AluOpsForRatio(spec.alu_fetch_ratio, spec.inputs);
+  const unsigned segments = spec.step + 1;
+  Require(plan.total_alu_ops >= spec.inputs - 1 + segments,
+          "register usage: ALU budget too small for the clause layout");
+  // Split the budget evenly so total ALU work is identical across step
+  // values (the control experiment depends on this).
+  const unsigned base = plan.total_alu_ops / segments;
+  plan.segment_ops.assign(segments, base);
+  plan.segment_ops.back() += plan.total_alu_ops - base * segments;
+  return plan;
+}
+
+}  // namespace
+
+il::Kernel GenerateRegisterUsage(const RegisterUsageSpec& spec) {
+  const UsagePlan plan = PlanUsage(spec);
+  il::Builder b(spec.name,
+                MakeSignature(spec.inputs, 1, 0, spec.type, spec.read_path,
+                              spec.write_path));
+  // Initial TEX clause: only the inputs not deferred to later clauses.
+  std::vector<unsigned> fetched;
+  for (unsigned i = 0; i < plan.initial_inputs; ++i) {
+    fetched.push_back(b.Fetch(i));
+  }
+  Chain chain;
+  unsigned used = FoldInputs(b, chain, fetched);
+  Check(plan.segment_ops[0] >= used,
+        "register usage: first segment cannot fold the initial inputs");
+  EmitChain(b, chain, plan.segment_ops[0] - used);
+
+  unsigned next_input = plan.initial_inputs;
+  for (unsigned s = 0; s < spec.step; ++s) {
+    // Late TEX clause: sample `space` inputs right before their use.
+    std::vector<unsigned> late;
+    for (unsigned i = 0; i < spec.space; ++i) late.push_back(b.Fetch(next_input++));
+    used = FoldInputs(b, chain, late);
+    const unsigned budget = plan.segment_ops[s + 1];
+    Check(budget >= used, "register usage: segment budget too small");
+    EmitChain(b, chain, budget - used);
+  }
+  Check(next_input == spec.inputs, "register usage: inputs left unsampled");
+  b.Write(0, chain.last);
+  il::Kernel kernel = std::move(b).Build();
+  il::VerifyOrThrow(kernel);
+  return kernel;
+}
+
+il::Kernel GenerateClauseUsage(const RegisterUsageSpec& spec) {
+  const UsagePlan plan = PlanUsage(spec);
+  il::Builder b(spec.name + "_clause_control",
+                MakeSignature(spec.inputs, 1, 0, spec.type, spec.read_path,
+                              spec.write_path));
+  // Fig. 5: ALL inputs sampled up front...
+  std::vector<unsigned> fetched;
+  for (unsigned i = 0; i < spec.inputs; ++i) fetched.push_back(b.Fetch(i));
+
+  // ...but the ALU work is segmented into the same clauses, consuming the
+  // same inputs at the same points.
+  std::vector<unsigned> initial(fetched.begin(),
+                                fetched.begin() + plan.initial_inputs);
+  Chain chain;
+  unsigned used = FoldInputs(b, chain, initial);
+  EmitChain(b, chain, plan.segment_ops[0] - used);
+
+  unsigned next_input = plan.initial_inputs;
+  for (unsigned s = 0; s < spec.step; ++s) {
+    b.ClauseBreak();
+    std::vector<unsigned> late(fetched.begin() + next_input,
+                               fetched.begin() + next_input + spec.space);
+    next_input += spec.space;
+    used = FoldInputs(b, chain, late);
+    EmitChain(b, chain, plan.segment_ops[s + 1] - used);
+  }
+  b.Write(0, chain.last);
+  il::Kernel kernel = std::move(b).Build();
+  il::VerifyOrThrow(kernel);
+  return kernel;
+}
+
+}  // namespace amdmb::suite

@@ -1,0 +1,58 @@
+// Kernel generators — the code-generation half of the paper's suite.
+//
+// Every micro-benchmark kernel follows the paper's generic pattern
+// (Fig. 3): fetch all inputs, fold them into a fully data-dependent add
+// chain, keep chaining until the requested ALU-op budget is spent, and
+// write the tail of the chain to the outputs. The high data dependency
+// defeats VLIW packing, so the ALU cycle count is controlled exactly and
+// is independent of float vs float4 (Sec. III).
+//
+// The register-usage micro-benchmark uses the Fig. 6 variant: only part
+// of the inputs is sampled up front; the rest is sampled in `step`
+// later TEX clauses of `space` fetches each, right before use, which
+// lowers the peak GPR count and raises occupancy. The Fig. 5 control
+// kernel keeps the identical clause structure (via explicit clause
+// breaks) but samples everything up front, pinning GPR usage.
+#pragma once
+
+#include "il/il.hpp"
+
+namespace amdmb::suite {
+
+/// Parameters of the generic kernel (paper Fig. 3).
+struct GenericSpec {
+  unsigned inputs = 2;
+  unsigned outputs = 1;
+  unsigned constants = 0;
+  unsigned alu_ops = 8;  ///< Exact ALU op budget (>= inputs - 1, >= outputs).
+  DataType type = DataType::kFloat;
+  ReadPath read_path = ReadPath::kTexture;
+  WritePath write_path = WritePath::kStream;
+  std::string name = "generic";
+};
+
+/// ALU ops for a SKA-normalised ALU:Fetch ratio (Sec. III-A: the op
+/// count is inputs * 4 * ratio, mirroring the 4:1 hardware ratio).
+unsigned AluOpsForRatio(double ratio, unsigned inputs);
+
+il::Kernel GenerateGeneric(const GenericSpec& spec);
+
+/// Parameters of the register-usage kernel (paper Fig. 6).
+struct RegisterUsageSpec {
+  unsigned inputs = 64;
+  unsigned space = 8;  ///< Fetches per late TEX clause.
+  unsigned step = 6;   ///< Number of late TEX clauses.
+  double alu_fetch_ratio = 4.0;
+  DataType type = DataType::kFloat;
+  ReadPath read_path = ReadPath::kTexture;
+  WritePath write_path = WritePath::kStream;
+  std::string name = "register_usage";
+};
+
+il::Kernel GenerateRegisterUsage(const RegisterUsageSpec& spec);
+
+/// Fig. 5 control: identical ALU segmentation (forced clause breaks at
+/// the same points) but all sampling up front -> constant GPR usage.
+il::Kernel GenerateClauseUsage(const RegisterUsageSpec& spec);
+
+}  // namespace amdmb::suite

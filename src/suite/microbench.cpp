@@ -1,0 +1,48 @@
+#include "suite/microbench.hpp"
+
+#include "compiler/compiler.hpp"
+
+namespace amdmb::suite {
+
+Runner::Runner(const GpuArch& arch) : gpu_(arch) {}
+
+Measurement Runner::Measure(const il::Kernel& kernel,
+                            const sim::LaunchConfig& config) {
+  const isa::Program program = compiler::Compile(kernel, gpu_.Arch());
+  Measurement m;
+  m.ska = compiler::Analyze(program, gpu_.Arch());
+  m.stats = gpu_.Execute(program, config);
+  m.seconds = m.stats.seconds;
+  return m;
+}
+
+std::string CurveKey::Name() const {
+  // "Radeon HD 4870" -> "4870".
+  std::string card = arch.card;
+  if (const auto pos = card.rfind(' '); pos != std::string::npos) {
+    card = card.substr(pos + 1);
+  }
+  return card + " " + std::string(ToString(mode)) + " " +
+         std::string(ToString(type));
+}
+
+std::vector<CurveKey> PaperCurves(bool include_pixel, bool include_compute,
+                                  const std::vector<GpuArch>& archs) {
+  const std::vector<GpuArch> all = archs.empty() ? AllArchs() : archs;
+  std::vector<CurveKey> curves;
+  for (const GpuArch& arch : all) {
+    for (const ShaderMode mode : {ShaderMode::kPixel, ShaderMode::kCompute}) {
+      if (mode == ShaderMode::kPixel && !include_pixel) continue;
+      if (mode == ShaderMode::kCompute &&
+          (!include_compute || !arch.supports_compute)) {
+        continue;
+      }
+      for (const DataType type : {DataType::kFloat, DataType::kFloat4}) {
+        curves.push_back(CurveKey{arch, mode, type});
+      }
+    }
+  }
+  return curves;
+}
+
+}  // namespace amdmb::suite

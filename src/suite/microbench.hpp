@@ -1,0 +1,57 @@
+// Measurement harness shared by all micro-benchmarks: compile an IL
+// kernel, launch it on the simulated GPU, and collect the timer plus the
+// dynamic counters (the paper times 5000 launches per kernel, Sec. III).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "compiler/ska.hpp"
+#include "il/il.hpp"
+#include "sim/gpu.hpp"
+
+namespace amdmb::suite {
+
+/// One measured kernel execution.
+struct Measurement {
+  double seconds = 0.0;  ///< Timer over all repetitions.
+  sim::KernelStats stats;
+  compiler::SkaReport ska;
+};
+
+/// Compiles and runs kernels on one GPU.
+class Runner {
+ public:
+  explicit Runner(const GpuArch& arch);
+
+  Measurement Measure(const il::Kernel& kernel,
+                      const sim::LaunchConfig& config);
+
+  const GpuArch& Arch() const { return gpu_.Arch(); }
+
+ private:
+  sim::Gpu gpu_;
+};
+
+/// One curve of a paper figure: a GPU generation in a shader mode with a
+/// data type — e.g. "4870 Pixel Float4".
+struct CurveKey {
+  GpuArch arch;
+  ShaderMode mode = ShaderMode::kPixel;
+  DataType type = DataType::kFloat;
+
+  /// Legend label in the paper's format ("3870 Pixel Float").
+  std::string Name() const;
+};
+
+/// The curves the paper plots: every GPU x mode x type combination that
+/// exists (RV670 has no compute mode). `archs` defaults to all three.
+std::vector<CurveKey> PaperCurves(bool include_pixel = true,
+                                  bool include_compute = true,
+                                  const std::vector<GpuArch>& archs = {});
+
+/// Standard repetition count used throughout the paper.
+inline constexpr unsigned kPaperRepetitions = 5000;
+
+}  // namespace amdmb::suite

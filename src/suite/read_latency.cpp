@@ -1,0 +1,64 @@
+#include "suite/read_latency.hpp"
+
+#include "common/status.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::suite {
+
+ReadLatencyResult RunReadLatency(Runner& runner, ShaderMode mode,
+                                 DataType type,
+                                 const ReadLatencyConfig& config) {
+  Require(config.min_inputs >= 2 && config.max_inputs >= config.min_inputs,
+          "ReadLatency: invalid input sweep");
+  ReadLatencyResult result;
+
+  sim::LaunchConfig launch;
+  launch.domain = config.domain;
+  launch.mode = mode;
+  launch.block = config.block;
+  launch.repetitions = config.repetitions;
+  const WritePath write =
+      mode == ShaderMode::kCompute ? WritePath::kGlobal : WritePath::kStream;
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (unsigned inputs = config.min_inputs; inputs <= config.max_inputs;
+       ++inputs) {
+    GenericSpec spec;
+    spec.inputs = inputs;
+    spec.outputs = 1;
+    // Sec. III-B: ALU ops fixed to inputs - 1 so the fetch stays the
+    // bottleneck.
+    spec.alu_ops = inputs - 1;
+    spec.type = type;
+    spec.read_path = config.read_path;
+    spec.write_path = write;
+    spec.name = "readlat_in" + std::to_string(inputs);
+    ReadLatencyPoint point;
+    point.inputs = inputs;
+    point.m = runner.Measure(GenerateGeneric(spec), launch);
+    xs.push_back(inputs);
+    ys.push_back(point.m.seconds);
+    result.points.push_back(std::move(point));
+  }
+  result.fit = FitLine(xs, ys);
+  return result;
+}
+
+SeriesSet ReadLatencyFigure(const std::vector<CurveKey>& curves,
+                            const ReadLatencyConfig& config,
+                            const std::string& title) {
+  SeriesSet figure(title, "Number of Inputs", "Time in seconds");
+  for (const CurveKey& key : curves) {
+    Runner runner(key.arch);
+    const ReadLatencyResult result =
+        RunReadLatency(runner, key.mode, key.type, config);
+    Series& series = figure.Get(key.Name());
+    for (const ReadLatencyPoint& p : result.points) {
+      series.Add(p.inputs, p.m.seconds);
+    }
+  }
+  return figure;
+}
+
+}  // namespace amdmb::suite

@@ -1,0 +1,44 @@
+// Texture-fetch / global-read latency micro-benchmark
+// (paper Sec. III-B, Figs. 11-12).
+//
+// Sweeps the number of inputs with the ALU budget pinned to inputs - 1
+// (just enough to fold every input) and one output, so the fetch path
+// stays the bottleneck. Reports the per-input latency slope.
+#pragma once
+
+#include <vector>
+
+#include "common/series.hpp"
+#include "common/stats.hpp"
+#include "suite/microbench.hpp"
+
+namespace amdmb::suite {
+
+struct ReadLatencyConfig {
+  unsigned min_inputs = 2;
+  unsigned max_inputs = 18;
+  Domain domain{1024, 1024};
+  BlockShape block{64, 1};
+  ReadPath read_path = ReadPath::kTexture;  ///< kGlobal for Fig. 12.
+  unsigned repetitions = kPaperRepetitions;
+};
+
+struct ReadLatencyPoint {
+  unsigned inputs = 0;
+  Measurement m;
+};
+
+struct ReadLatencyResult {
+  std::vector<ReadLatencyPoint> points;
+  LineFit fit;  ///< seconds vs inputs.
+};
+
+ReadLatencyResult RunReadLatency(Runner& runner, ShaderMode mode,
+                                 DataType type,
+                                 const ReadLatencyConfig& config);
+
+SeriesSet ReadLatencyFigure(const std::vector<CurveKey>& curves,
+                            const ReadLatencyConfig& config,
+                            const std::string& title);
+
+}  // namespace amdmb::suite

@@ -1,0 +1,59 @@
+#include "suite/register_usage.hpp"
+
+#include "common/status.hpp"
+
+namespace amdmb::suite {
+
+RegisterUsageResult RunRegisterUsage(Runner& runner, ShaderMode mode,
+                                     DataType type,
+                                     const RegisterUsageConfig& config) {
+  Require(config.max_step >= config.min_step,
+          "RegisterUsage: invalid step sweep");
+  RegisterUsageResult result;
+
+  sim::LaunchConfig launch;
+  launch.domain = config.domain;
+  launch.mode = mode;
+  launch.block = config.block;
+  launch.repetitions = config.repetitions;
+
+  for (unsigned step = config.min_step; step <= config.max_step; ++step) {
+    RegisterUsageSpec spec;
+    spec.inputs = config.inputs;
+    spec.space = config.space;
+    spec.step = step;
+    spec.alu_fetch_ratio = config.alu_fetch_ratio;
+    spec.type = type;
+    spec.read_path = ReadPath::kTexture;
+    spec.write_path =
+        mode == ShaderMode::kCompute ? WritePath::kGlobal : WritePath::kStream;
+    spec.name = "regusage_s" + std::to_string(step);
+    const il::Kernel kernel = config.clause_control
+                                  ? GenerateClauseUsage(spec)
+                                  : GenerateRegisterUsage(spec);
+    RegisterUsagePoint point;
+    point.step = step;
+    point.m = runner.Measure(kernel, launch);
+    point.gpr_count = point.m.stats.gpr_count;
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+SeriesSet RegisterUsageFigure(const std::vector<CurveKey>& curves,
+                              const RegisterUsageConfig& config,
+                              const std::string& title) {
+  SeriesSet figure(title, "Global Purpose Registers", "Time in seconds");
+  for (const CurveKey& key : curves) {
+    Runner runner(key.arch);
+    const RegisterUsageResult result =
+        RunRegisterUsage(runner, key.mode, key.type, config);
+    Series& series = figure.Get(key.Name());
+    for (const RegisterUsagePoint& p : result.points) {
+      series.Add(p.gpr_count, p.m.seconds);
+    }
+  }
+  return figure;
+}
+
+}  // namespace amdmb::suite

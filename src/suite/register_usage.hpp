@@ -1,0 +1,53 @@
+// Register-usage micro-benchmark (paper Sec. III-E / IV-E, Figs. 16-17)
+// and its clause-usage control (Fig. 5).
+//
+// Sweeps the `step` parameter of the Fig. 6 generator: more late TEX
+// clauses mean fewer inputs sampled up front, fewer peak GPRs, and more
+// simultaneous wavefronts — which hide fetch latency until the kernel
+// goes ALU-bound and the curve levels off. The control kernel keeps the
+// identical ALU segmentation but samples everything up front, so its GPR
+// count (and hence its runtime) stays constant — proving the benefit
+// comes from register pressure, not from moving ALU ops across clauses.
+#pragma once
+
+#include <vector>
+
+#include "common/series.hpp"
+#include "suite/kernelgen.hpp"
+#include "suite/microbench.hpp"
+
+namespace amdmb::suite {
+
+struct RegisterUsageConfig {
+  unsigned inputs = 64;
+  unsigned space = 8;
+  unsigned min_step = 0;
+  unsigned max_step = 7;
+  double alu_fetch_ratio = 4.0;
+  /// The paper does not state the Fig. 16 domain; 512x512 reproduces the
+  /// published magnitudes (documented in EXPERIMENTS.md).
+  Domain domain{512, 512};
+  BlockShape block{64, 1};
+  unsigned repetitions = kPaperRepetitions;
+  bool clause_control = false;  ///< true -> the Fig. 5 control kernel.
+};
+
+struct RegisterUsagePoint {
+  unsigned step = 0;
+  unsigned gpr_count = 0;  ///< Compiled register usage (figure x-axis).
+  Measurement m;
+};
+
+struct RegisterUsageResult {
+  std::vector<RegisterUsagePoint> points;
+};
+
+RegisterUsageResult RunRegisterUsage(Runner& runner, ShaderMode mode,
+                                     DataType type,
+                                     const RegisterUsageConfig& config);
+
+SeriesSet RegisterUsageFigure(const std::vector<CurveKey>& curves,
+                              const RegisterUsageConfig& config,
+                              const std::string& title);
+
+}  // namespace amdmb::suite

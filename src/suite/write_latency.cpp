@@ -1,0 +1,66 @@
+#include "suite/write_latency.hpp"
+
+#include "common/status.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::suite {
+
+WriteLatencyResult RunWriteLatency(Runner& runner, ShaderMode mode,
+                                   DataType type,
+                                   const WriteLatencyConfig& config) {
+  Require(config.min_outputs >= 1 &&
+              config.max_outputs >= config.min_outputs,
+          "WriteLatency: invalid output sweep");
+  Require(config.max_outputs <= config.inputs,
+          "WriteLatency: the paper keeps outputs below the input size so "
+          "GPR usage stays pinned by the inputs");
+  WriteLatencyResult result;
+
+  sim::LaunchConfig launch;
+  launch.domain = config.domain;
+  launch.mode = mode;
+  launch.block = config.block;
+  launch.repetitions = config.repetitions;
+  const WritePath write =
+      mode == ShaderMode::kCompute ? WritePath::kGlobal : config.write_path;
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (unsigned outputs = config.min_outputs; outputs <= config.max_outputs;
+       ++outputs) {
+    GenericSpec spec;
+    spec.inputs = config.inputs;
+    spec.outputs = outputs;
+    spec.alu_ops = config.alu_ops;
+    spec.type = type;
+    spec.read_path = ReadPath::kTexture;
+    spec.write_path = write;
+    spec.name = "writelat_out" + std::to_string(outputs);
+    WriteLatencyPoint point;
+    point.outputs = outputs;
+    point.m = runner.Measure(GenerateGeneric(spec), launch);
+    xs.push_back(outputs);
+    ys.push_back(point.m.seconds);
+    result.points.push_back(std::move(point));
+  }
+  result.fit = FitLine(xs, ys);
+  return result;
+}
+
+SeriesSet WriteLatencyFigure(const std::vector<CurveKey>& curves,
+                             const WriteLatencyConfig& config,
+                             const std::string& title) {
+  SeriesSet figure(title, "Number of Outputs", "Time in seconds");
+  for (const CurveKey& key : curves) {
+    Runner runner(key.arch);
+    const WriteLatencyResult result =
+        RunWriteLatency(runner, key.mode, key.type, config);
+    Series& series = figure.Get(key.Name());
+    for (const WriteLatencyPoint& p : result.points) {
+      series.Add(p.outputs, p.m.seconds);
+    }
+  }
+  return figure;
+}
+
+}  // namespace amdmb::suite

@@ -1,0 +1,48 @@
+// Streaming-store / global-write latency micro-benchmark
+// (paper Sec. III-C, Figs. 13-14).
+//
+// Sweeps the number of outputs with the input size fixed at eight —
+// which pins the GPR count to the input size and keeps occupancy
+// constant across the sweep — and a low constant ALU budget, so larger
+// output counts become memory-bound while the smallest stay fetch-bound
+// (the flat left end of Fig. 13).
+#pragma once
+
+#include <vector>
+
+#include "common/series.hpp"
+#include "common/stats.hpp"
+#include "suite/microbench.hpp"
+
+namespace amdmb::suite {
+
+struct WriteLatencyConfig {
+  unsigned inputs = 8;
+  unsigned min_outputs = 1;
+  unsigned max_outputs = 8;
+  unsigned alu_ops = 16;  ///< "relatively low constant value" (Sec. III-C).
+  Domain domain{1024, 1024};
+  BlockShape block{64, 1};
+  WritePath write_path = WritePath::kStream;  ///< kGlobal for Fig. 14.
+  unsigned repetitions = kPaperRepetitions;
+};
+
+struct WriteLatencyPoint {
+  unsigned outputs = 0;
+  Measurement m;
+};
+
+struct WriteLatencyResult {
+  std::vector<WriteLatencyPoint> points;
+  LineFit fit;  ///< seconds vs outputs.
+};
+
+WriteLatencyResult RunWriteLatency(Runner& runner, ShaderMode mode,
+                                   DataType type,
+                                   const WriteLatencyConfig& config);
+
+SeriesSet WriteLatencyFigure(const std::vector<CurveKey>& curves,
+                             const WriteLatencyConfig& config,
+                             const std::string& title);
+
+}  // namespace amdmb::suite

@@ -1,0 +1,113 @@
+// Unit tests for src/arch: Table I machine descriptions and occupancy.
+#include <gtest/gtest.h>
+
+#include "arch/gpu_arch.hpp"
+#include "arch/occupancy.hpp"
+#include "common/status.hpp"
+
+namespace amdmb {
+namespace {
+
+// Table I of the paper, verbatim.
+TEST(GpuArchTest, TableOneValues) {
+  const GpuArch rv670 = MakeRV670();
+  EXPECT_EQ(rv670.alu_count, 320u);
+  EXPECT_EQ(rv670.texture_units, 16u);
+  EXPECT_EQ(rv670.simd_engines, 4u);
+  EXPECT_EQ(rv670.core_clock_mhz, 750u);
+  EXPECT_EQ(rv670.mem_clock_mhz, 1000u);
+  EXPECT_FALSE(rv670.supports_compute);
+
+  const GpuArch rv770 = MakeRV770();
+  EXPECT_EQ(rv770.alu_count, 800u);
+  EXPECT_EQ(rv770.texture_units, 40u);
+  EXPECT_EQ(rv770.simd_engines, 10u);
+  EXPECT_EQ(rv770.core_clock_mhz, 750u);
+  EXPECT_EQ(rv770.mem_clock_mhz, 900u);
+  EXPECT_TRUE(rv770.supports_compute);
+
+  const GpuArch rv870 = MakeRV870();
+  EXPECT_EQ(rv870.alu_count, 1600u);
+  EXPECT_EQ(rv870.texture_units, 80u);
+  EXPECT_EQ(rv870.simd_engines, 20u);
+  EXPECT_EQ(rv870.core_clock_mhz, 850u);
+  EXPECT_EQ(rv870.mem_clock_mhz, 1200u);
+}
+
+// Paper Sec. II-A: 16 thread processors x 5-wide VLIW x SIMD count must
+// equal the ALU count; 4 texture units per SIMD.
+TEST(GpuArchTest, ExecutionModelConsistency) {
+  for (const GpuArch& a : AllArchs()) {
+    EXPECT_EQ(a.thread_processors_per_simd * a.vliw_width * a.simd_engines,
+              a.alu_count)
+        << a.name;
+    EXPECT_EQ(a.tex_units_per_simd * a.simd_engines, a.texture_units)
+        << a.name;
+    EXPECT_EQ(a.wavefront_size, 64u) << a.name;
+    EXPECT_EQ(a.CyclesPerBundle(), 4u) << a.name;
+    EXPECT_EQ(a.gpr_budget_per_thread, 256u) << a.name;
+  }
+}
+
+// Paper Sec. IV-A: RV870's texture cache is half of RV770's with double
+// the line size.
+TEST(GpuArchTest, Rv870CacheHalvedLineDoubled) {
+  const GpuArch rv770 = MakeRV770();
+  const GpuArch rv870 = MakeRV870();
+  EXPECT_EQ(rv870.TotalTexCacheBytes() * 2, rv770.TotalTexCacheBytes());
+  EXPECT_EQ(rv870.l1.line_bytes, 2 * rv770.l1.line_bytes);
+}
+
+TEST(GpuArchTest, LookupByChipAndCardName) {
+  EXPECT_EQ(ArchByName("RV770").name, "RV770");
+  EXPECT_EQ(ArchByName("4870").name, "RV770");
+  EXPECT_EQ(ArchByName("Radeon HD 5870").name, "RV870");
+  EXPECT_THROW(ArchByName("GTX280"), ConfigError);
+}
+
+TEST(GpuArchTest, CyclesToSecondsUsesCoreClock) {
+  const GpuArch a = MakeRV770();
+  EXPECT_DOUBLE_EQ(a.CyclesToSeconds(750.0e6), 1.0);
+}
+
+TEST(GpuArchTest, HardwareTableRendersAllRows) {
+  const std::string table = RenderHardwareTable();
+  for (const char* chip : {"RV670", "RV770", "RV870"}) {
+    EXPECT_NE(table.find(chip), std::string::npos) << chip;
+  }
+  EXPECT_NE(table.find("1600"), std::string::npos);
+  EXPECT_NE(table.find("GDDR5"), std::string::npos);
+}
+
+// Paper Sec. II-B: a 5-GPR kernel can schedule 256/5 = 51 wavefronts.
+TEST(OccupancyTest, PaperExampleFiveGprs) {
+  const GpuArch a = MakeRV770();
+  EXPECT_EQ(TheoreticalWavefronts(a, 5), 51u);
+  EXPECT_EQ(WavefrontsPerSimd(a, 5), a.max_wavefronts_per_simd);
+}
+
+TEST(OccupancyTest, MonotoneNonIncreasingInGpr) {
+  const GpuArch a = MakeRV870();
+  unsigned prev = WavefrontsPerSimd(a, 1);
+  for (unsigned gpr = 2; gpr <= 256; ++gpr) {
+    const unsigned w = WavefrontsPerSimd(a, gpr);
+    EXPECT_LE(w, prev) << "gpr=" << gpr;
+    prev = w;
+  }
+  EXPECT_EQ(WavefrontsPerSimd(a, 256), 1u);
+}
+
+TEST(OccupancyTest, AlwaysAtLeastOneWavefront) {
+  const GpuArch a = MakeRV670();
+  EXPECT_EQ(TheoreticalWavefronts(a, 300), 1u);  // Over budget still runs.
+  EXPECT_THROW(TheoreticalWavefronts(a, 0), ConfigError);
+}
+
+TEST(OccupancyTest, SingleSlotPenalty) {
+  EXPECT_TRUE(SingleSlotPenaltyApplies(1));
+  EXPECT_FALSE(SingleSlotPenaltyApplies(2));
+  EXPECT_FALSE(SingleSlotPenaltyApplies(24));
+}
+
+}  // namespace
+}  // namespace amdmb

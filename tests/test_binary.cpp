@@ -1,0 +1,121 @@
+// Binary ISA image tests: round-trips, determinism, and decoder
+// robustness against corrupt/truncated images.
+#include <gtest/gtest.h>
+
+#include "cal/interp.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "compiler/binary.hpp"
+#include "compiler/compiler.hpp"
+#include "sim/gpu.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::compiler {
+namespace {
+
+isa::Program SampleProgram(DataType type = DataType::kFloat4,
+                           unsigned outputs = 2) {
+  suite::GenericSpec spec;
+  spec.inputs = 6;
+  spec.outputs = outputs;
+  spec.alu_ops = 40;
+  spec.type = type;
+  spec.constants = 0;
+  spec.write_path = WritePath::kGlobal;
+  return Compile(suite::GenerateGeneric(spec), MakeRV770());
+}
+
+void ExpectSameProgram(const isa::Program& a, const isa::Program& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.gpr_count, b.gpr_count);
+  EXPECT_EQ(a.stats.alu_ops, b.stats.alu_ops);
+  EXPECT_EQ(a.stats.alu_bundles, b.stats.alu_bundles);
+  ASSERT_EQ(a.clauses.size(), b.clauses.size());
+  for (std::size_t c = 0; c < a.clauses.size(); ++c) {
+    EXPECT_EQ(a.clauses[c].type, b.clauses[c].type);
+    EXPECT_EQ(a.clauses[c].fetches.size(), b.clauses[c].fetches.size());
+    EXPECT_EQ(a.clauses[c].bundles.size(), b.clauses[c].bundles.size());
+    EXPECT_EQ(a.clauses[c].writes.size(), b.clauses[c].writes.size());
+  }
+  // Full behavioural equality via the ISA interpreter.
+  const Domain domain{4, 4};
+  const cal::FuncResult ra = cal::RunIsa(a, domain);
+  const cal::FuncResult rb = cal::RunIsa(b, domain);
+  ASSERT_EQ(ra.outputs.size(), rb.outputs.size());
+  for (std::size_t o = 0; o < ra.outputs.size(); ++o) {
+    for (std::size_t i = 0; i < ra.outputs[o].size(); ++i) {
+      for (int comp = 0; comp < 4; ++comp) {
+        ASSERT_EQ(ra.outputs[o][i][comp], rb.outputs[o][i][comp]);
+      }
+    }
+  }
+}
+
+TEST(BinaryTest, RoundTripsPrograms) {
+  for (const DataType type : {DataType::kFloat, DataType::kFloat4}) {
+    const isa::Program original = SampleProgram(type);
+    const isa::Program decoded = Decode(Encode(original));
+    ExpectSameProgram(original, decoded);
+    EXPECT_EQ(decoded.sig.type, type);
+  }
+}
+
+TEST(BinaryTest, EncodingIsDeterministic) {
+  const isa::Program p = SampleProgram();
+  EXPECT_EQ(Encode(p), Encode(p));
+  EXPECT_EQ(Encode(p), Encode(Decode(Encode(p))));
+}
+
+TEST(BinaryTest, RejectsBadMagicAndVersion) {
+  BinaryImage image = Encode(SampleProgram());
+  BinaryImage bad_magic = image;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(Decode(bad_magic), ConfigError);
+  BinaryImage bad_version = image;
+  bad_version[4] = 0xEE;
+  EXPECT_THROW(Decode(bad_version), ConfigError);
+}
+
+TEST(BinaryTest, RejectsEveryTruncation) {
+  const BinaryImage image = Encode(SampleProgram());
+  // Every strict prefix must fail cleanly (never crash / OOB read).
+  for (std::size_t len = 0; len < image.size();
+       len += std::max<std::size_t>(1, image.size() / 97)) {
+    const BinaryImage prefix(image.begin(),
+                             image.begin() + static_cast<long>(len));
+    EXPECT_THROW(Decode(prefix), ConfigError) << "prefix length " << len;
+  }
+  BinaryImage trailing = image;
+  trailing.push_back(0);
+  EXPECT_THROW(Decode(trailing), ConfigError);
+}
+
+TEST(BinaryTest, SurvivesRandomCorruptionWithoutCrashing) {
+  const BinaryImage image = Encode(SampleProgram());
+  XorShift128 rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    BinaryImage corrupt = image;
+    const std::size_t pos = rng.NextBelow(corrupt.size());
+    corrupt[pos] ^= static_cast<std::uint8_t>(1 + rng.NextBelow(255));
+    // Either decodes to some program or throws ConfigError / SimError —
+    // but never crashes or reads out of bounds.
+    try {
+      const isa::Program p = Decode(corrupt);
+      (void)p;
+    } catch (const ConfigError&) {
+    } catch (const SimError&) {
+    }
+  }
+}
+
+TEST(BinaryTest, DecodedProgramRunsOnSimulator) {
+  const isa::Program decoded = Decode(Encode(SampleProgram()));
+  sim::Gpu gpu(MakeRV770());
+  sim::LaunchConfig config;
+  config.domain = Domain{128, 128};
+  const sim::KernelStats stats = gpu.Execute(decoded, config);
+  EXPECT_GT(stats.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace amdmb::compiler

@@ -1,0 +1,292 @@
+// Unit tests for src/compiler: dependence analysis, VLIW packing, clause
+// formation, SKA static analysis, and disassembly.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "compiler/clause_builder.hpp"
+#include "compiler/compiler.hpp"
+#include "compiler/depgraph.hpp"
+#include "compiler/ska.hpp"
+#include "compiler/vliw_packer.hpp"
+#include "il/builder.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::compiler {
+namespace {
+
+using il::Operand;
+
+il::Signature Sig(unsigned inputs, unsigned outputs, DataType type,
+                  ReadPath read = ReadPath::kTexture,
+                  WritePath write = WritePath::kStream) {
+  il::Signature sig;
+  sig.inputs = inputs;
+  sig.outputs = outputs;
+  sig.type = type;
+  sig.read_path = read;
+  sig.write_path = write;
+  return sig;
+}
+
+/// inputs -> independent pairwise adds (packable) -> fold -> write.
+il::Kernel PackableKernel(DataType type) {
+  il::Builder b("packable", Sig(8, 1, type));
+  std::vector<unsigned> in;
+  for (unsigned i = 0; i < 8; ++i) in.push_back(b.Fetch(i));
+  // Four independent adds: should co-issue for float.
+  std::vector<unsigned> sums;
+  for (unsigned i = 0; i < 8; i += 2) {
+    sums.push_back(b.Add(Operand::Reg(in[i]), Operand::Reg(in[i + 1])));
+  }
+  const unsigned a = b.Add(Operand::Reg(sums[0]), Operand::Reg(sums[1]));
+  const unsigned c = b.Add(Operand::Reg(sums[2]), Operand::Reg(sums[3]));
+  const unsigned r = b.Add(Operand::Reg(a), Operand::Reg(c));
+  b.Write(0, r);
+  return std::move(b).Build();
+}
+
+TEST(DepGraphTest, DefAndUseSites) {
+  il::Builder b("deps", Sig(2, 1, DataType::kFloat));
+  const unsigned a = b.Fetch(0);
+  const unsigned c = b.Fetch(1);
+  const unsigned s = b.Add(Operand::Reg(a), Operand::Reg(c));
+  const unsigned t = b.Add(Operand::Reg(s), Operand::Reg(a));
+  b.Write(0, t);
+  const il::Kernel k = std::move(b).Build();
+  const DepGraph deps(k);
+  EXPECT_EQ(deps.DefSite(a), 0u);
+  EXPECT_EQ(deps.DefSite(s), 2u);
+  EXPECT_EQ(deps.UseSites(a), (std::vector<unsigned>{2, 3}));
+  EXPECT_EQ(deps.UseSites(t), (std::vector<unsigned>{4}));
+  EXPECT_TRUE(deps.DependsOn(3, 2));
+  EXPECT_FALSE(deps.DependsOn(2, 3));
+  EXPECT_EQ(deps.VirtualRegCount(), 4u);
+}
+
+TEST(VliwPackerTest, IndependentFloatOpsCoIssue) {
+  const il::Kernel k = PackableKernel(DataType::kFloat);
+  const DepGraph deps(k);
+  std::vector<unsigned> alu;
+  for (unsigned i = 0; i < k.code.size(); ++i) {
+    if (il::IsAlu(k.code[i].op)) alu.push_back(i);
+  }
+  const auto bundles = PackVliw(k, deps, alu);
+  // 4 independent adds in one bundle, then the dependent tree: 2, then 1.
+  ASSERT_EQ(bundles.size(), 3u);
+  EXPECT_EQ(bundles[0].size(), 4u);
+  EXPECT_EQ(bundles[1].size(), 2u);
+  EXPECT_EQ(bundles[2].size(), 1u);
+}
+
+// Paper Sec. III: the data dependency does not allow VLIW packing, so
+// the bundle count equals the op count and is data-type independent.
+TEST(VliwPackerTest, DependentChainNeverPacks) {
+  for (const DataType type : {DataType::kFloat, DataType::kFloat4}) {
+    suite::GenericSpec spec;
+    spec.inputs = 4;
+    spec.alu_ops = 32;
+    spec.type = type;
+    const il::Kernel k = suite::GenerateGeneric(spec);
+    const isa::Program p = Compile(k, MakeRV770());
+    EXPECT_EQ(p.stats.alu_ops, 32u) << ToString(type);
+    EXPECT_EQ(p.stats.alu_bundles, 32u) << ToString(type);
+  }
+}
+
+TEST(VliwPackerTest, Float4OccupiesWholeBundle) {
+  const il::Kernel k = PackableKernel(DataType::kFloat4);
+  const DepGraph deps(k);
+  std::vector<unsigned> alu;
+  for (unsigned i = 0; i < k.code.size(); ++i) {
+    if (il::IsAlu(k.code[i].op)) alu.push_back(i);
+  }
+  const auto bundles = PackVliw(k, deps, alu);
+  // Each float4 op needs all four general lanes: no co-issue at all.
+  EXPECT_EQ(bundles.size(), 7u);
+  for (const auto& bundle : bundles) EXPECT_EQ(bundle.size(), 1u);
+}
+
+TEST(VliwPackerTest, FiveIndependentScalarsFillAllLanes) {
+  il::Builder b("five", Sig(2, 1, DataType::kFloat));
+  const unsigned a = b.Fetch(0);
+  const unsigned c = b.Fetch(1);
+  std::vector<unsigned> sums;
+  for (int i = 0; i < 5; ++i) {
+    sums.push_back(b.Add(Operand::Reg(a), Operand::Reg(c)));
+  }
+  unsigned acc = sums[0];
+  for (int i = 1; i < 5; ++i) {
+    acc = b.Add(Operand::Reg(acc), Operand::Reg(sums[i]));
+  }
+  b.Write(0, acc);
+  const il::Kernel k = std::move(b).Build();
+  const DepGraph deps(k);
+  std::vector<unsigned> alu;
+  for (unsigned i = 0; i < k.code.size(); ++i) {
+    if (il::IsAlu(k.code[i].op)) alu.push_back(i);
+  }
+  const auto bundles = PackVliw(k, deps, alu);
+  // 5 independent adds co-issue on x,y,z,w,t; the chain of 4 follows.
+  ASSERT_GE(bundles.size(), 5u);
+  EXPECT_EQ(bundles[0].size(), 5u);
+}
+
+TEST(VliwPackerTest, TranscendentalRequiresTLane) {
+  il::Builder b("trans", Sig(1, 1, DataType::kFloat));
+  const unsigned a = b.Fetch(0);
+  const unsigned r1 = b.Alu1(il::Opcode::kRcp, Operand::Reg(a));
+  const unsigned r2 = b.Alu1(il::Opcode::kSin, Operand::Reg(a));
+  const unsigned s = b.Add(Operand::Reg(r1), Operand::Reg(r2));
+  b.Write(0, s);
+  const il::Kernel k = std::move(b).Build();
+  const DepGraph deps(k);
+  std::vector<unsigned> alu = {1, 2, 3};
+  const auto bundles = PackVliw(k, deps, alu);
+  // Two transcendentals cannot share the single t core.
+  ASSERT_EQ(bundles.size(), 3u);
+  EXPECT_EQ(bundles[0].size(), 1u);
+  EXPECT_EQ(bundles[1].size(), 1u);
+}
+
+TEST(ClauseBuilderTest, GroupsByKindInProgramOrder) {
+  suite::GenericSpec spec;
+  spec.inputs = 4;
+  spec.alu_ops = 8;
+  const il::Kernel k = suite::GenerateGeneric(spec);
+  const isa::Program p = Compile(k, MakeRV770());
+  ASSERT_EQ(p.clauses.size(), 3u);
+  EXPECT_EQ(p.clauses[0].type, isa::ClauseType::kTex);
+  EXPECT_EQ(p.clauses[0].fetches.size(), 4u);
+  EXPECT_EQ(p.clauses[1].type, isa::ClauseType::kAlu);
+  EXPECT_EQ(p.clauses[1].bundles.size(), 8u);
+  EXPECT_EQ(p.clauses[2].type, isa::ClauseType::kExport);
+  EXPECT_EQ(p.clauses[2].writes.size(), 1u);
+}
+
+TEST(ClauseBuilderTest, SplitsTexClausesAtCapacity) {
+  suite::GenericSpec spec;
+  spec.inputs = 40;
+  spec.alu_ops = 64;
+  const il::Kernel k = suite::GenerateGeneric(spec);
+  CompileOptions opts = OptionsFor(MakeRV770());
+  opts.max_tex_fetches_per_clause = 16;
+  const isa::Program p = Compile(k, opts);
+  // 40 fetches -> 16 + 16 + 8.
+  ASSERT_GE(p.clauses.size(), 3u);
+  EXPECT_EQ(p.clauses[0].fetches.size(), 16u);
+  EXPECT_EQ(p.clauses[1].fetches.size(), 16u);
+  EXPECT_EQ(p.clauses[2].fetches.size(), 8u);
+}
+
+TEST(ClauseBuilderTest, SplitsAluClausesAtCapacity) {
+  suite::GenericSpec spec;
+  spec.inputs = 2;
+  spec.alu_ops = 300;
+  const il::Kernel k = suite::GenerateGeneric(spec);
+  CompileOptions opts = OptionsFor(MakeRV770());
+  opts.max_alu_bundles_per_clause = 128;
+  const isa::Program p = Compile(k, opts);
+  unsigned alu_clauses = 0;
+  for (const auto& c : p.clauses) {
+    if (c.type == isa::ClauseType::kAlu) {
+      ++alu_clauses;
+      EXPECT_LE(c.bundles.size(), 128u);
+    }
+  }
+  EXPECT_EQ(alu_clauses, 3u);  // 300 dependent ops -> 128 + 128 + 44.
+}
+
+TEST(ClauseBuilderTest, ClauseBreakForcesBoundary) {
+  il::Builder b("brk", Sig(2, 1, DataType::kFloat));
+  const unsigned a = b.Fetch(0);
+  const unsigned c = b.Fetch(1);
+  unsigned acc = b.Add(Operand::Reg(a), Operand::Reg(c));
+  acc = b.Add(Operand::Reg(acc), Operand::Reg(a));
+  b.ClauseBreak();
+  acc = b.Add(Operand::Reg(acc), Operand::Reg(c));
+  b.Write(0, acc);
+  const isa::Program p = Compile(std::move(b).Build(), MakeRV770());
+  ASSERT_EQ(p.clauses.size(), 4u);
+  EXPECT_EQ(p.clauses[1].type, isa::ClauseType::kAlu);
+  EXPECT_EQ(p.clauses[1].bundles.size(), 2u);
+  EXPECT_EQ(p.clauses[2].type, isa::ClauseType::kAlu);
+  EXPECT_EQ(p.clauses[2].bundles.size(), 1u);
+}
+
+TEST(CompilerTest, GlobalPathsProduceMemClauses) {
+  suite::GenericSpec spec;
+  spec.inputs = 3;
+  spec.alu_ops = 4;
+  spec.read_path = ReadPath::kGlobal;
+  spec.write_path = WritePath::kGlobal;
+  const il::Kernel k = suite::GenerateGeneric(spec);
+  const isa::Program p = Compile(k, MakeRV770());
+  EXPECT_EQ(p.clauses.front().type, isa::ClauseType::kMemRead);
+  EXPECT_EQ(p.clauses.back().type, isa::ClauseType::kMemWrite);
+  EXPECT_EQ(p.stats.global_reads, 3u);
+  EXPECT_EQ(p.stats.tex_fetches, 0u);
+}
+
+TEST(CompilerTest, RejectsInvalidKernels) {
+  il::Kernel k;
+  k.sig = Sig(1, 0, DataType::kFloat);
+  EXPECT_THROW(Compile(k, MakeRV770()), ConfigError);
+}
+
+// Paper Sec. III-A: 16 ALU ops and 4 fetches report a 1.0 ratio; 48/12
+// likewise.
+TEST(SkaTest, RatioIsFourToOneNormalised) {
+  const GpuArch arch = MakeRV770();
+  suite::GenericSpec spec;
+  spec.inputs = 12;
+  spec.alu_ops = 48;
+  const isa::Program p = Compile(suite::GenerateGeneric(spec), arch);
+  const SkaReport r = Analyze(p, arch);
+  EXPECT_EQ(r.alu_ops, 48u);
+  EXPECT_EQ(r.fetch_ops, 12u);
+  EXPECT_DOUBLE_EQ(r.alu_fetch_ratio, 1.0);
+  EXPECT_EQ(r.bound, StaticBound::kBalanced);
+}
+
+TEST(SkaTest, BoundClassification) {
+  const GpuArch arch = MakeRV770();
+  suite::GenericSpec spec;
+  spec.inputs = 4;
+  spec.alu_ops = 64;  // ratio 4.0
+  SkaReport r = Analyze(Compile(suite::GenerateGeneric(spec), arch), arch);
+  EXPECT_EQ(r.bound, StaticBound::kAlu);
+
+  spec.alu_ops = 4;  // ratio 0.25
+  r = Analyze(Compile(suite::GenerateGeneric(spec), arch), arch);
+  EXPECT_EQ(r.bound, StaticBound::kFetch);
+  EXPECT_FALSE(r.Render().empty());
+}
+
+TEST(SkaTest, OccupancyFromGpr) {
+  const GpuArch arch = MakeRV770();
+  suite::GenericSpec spec;
+  spec.inputs = 16;
+  spec.alu_ops = 64;
+  const isa::Program p = Compile(suite::GenerateGeneric(spec), arch);
+  const SkaReport r = Analyze(p, arch);
+  EXPECT_EQ(r.gpr_count, p.gpr_count);
+  EXPECT_EQ(r.theoretical_wavefronts, 256u / p.gpr_count);
+}
+
+TEST(DisassemblyTest, MatchesPaperFigTwoShape) {
+  suite::GenericSpec spec;
+  spec.inputs = 3;
+  spec.alu_ops = 6;
+  const isa::Program p = Compile(suite::GenerateGeneric(spec), MakeRV770());
+  const std::string text = isa::Disassemble(p);
+  EXPECT_NE(text.find("TEX:"), std::string::npos);
+  EXPECT_NE(text.find("SAMPLE"), std::string::npos);
+  EXPECT_NE(text.find("ALU:"), std::string::npos);
+  EXPECT_NE(text.find("ADD"), std::string::npos);
+  EXPECT_NE(text.find("EXP_DONE:"), std::string::npos);
+  EXPECT_NE(text.find("END_OF_PROGRAM"), std::string::npos);
+  EXPECT_NE(text.find("VALID_PIX"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amdmb::compiler

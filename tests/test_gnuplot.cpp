@@ -1,0 +1,49 @@
+// Tests for the gnuplot figure emitter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/gnuplot.hpp"
+
+namespace amdmb {
+namespace {
+
+SeriesSet SampleFigure() {
+  SeriesSet set("Fig test", "x", "seconds");
+  set.Get("a").Add(1, 2.5);
+  set.Get("a").Add(2, 3.5);
+  set.Get("b").Add(1, 1.0);
+  return set;
+}
+
+TEST(GnuplotTest, ScriptReferencesEverySeries) {
+  const std::string script = GnuplotScript(SampleFigure(), "f.dat", "f.svg");
+  EXPECT_NE(script.find("set output 'f.svg'"), std::string::npos);
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+  EXPECT_NE(script.find("title \"a\""), std::string::npos);
+  EXPECT_NE(script.find("title \"b\""), std::string::npos);
+}
+
+TEST(GnuplotTest, WritesDatAndScriptFiles) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "amdmb_gnuplot_test";
+  std::filesystem::remove_all(dir);
+  const std::filesystem::path gp = WriteGnuplot(SampleFigure(), dir, "fig");
+  EXPECT_TRUE(std::filesystem::exists(gp));
+  EXPECT_TRUE(std::filesystem::exists(dir / "fig.dat"));
+
+  // Both .dat header lines must be gnuplot comments.
+  std::ifstream in(dir / "fig.dat");
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1.rfind("# ", 0), 0u);
+  EXPECT_EQ(line2.rfind("# ", 0), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace amdmb

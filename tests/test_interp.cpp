@@ -1,0 +1,183 @@
+// Functional-correctness tests: the IL interpreter against closed-form
+// expectations, and the ISA interpreter against the IL interpreter —
+// which validates clause formation, VLIW packing, PV lane resolution,
+// and register allocation end to end.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "cal/interp.hpp"
+#include "compiler/compiler.hpp"
+#include "il/builder.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::cal {
+namespace {
+
+using il::Operand;
+
+void ExpectSameOutputs(const FuncResult& a, const FuncResult& b) {
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (std::size_t o = 0; o < a.outputs.size(); ++o) {
+    ASSERT_EQ(a.outputs[o].size(), b.outputs[o].size());
+    for (std::size_t i = 0; i < a.outputs[o].size(); ++i) {
+      for (int c = 0; c < 4; ++c) {
+        ASSERT_EQ(a.outputs[o][i][c], b.outputs[o][i][c])
+            << "output " << o << " elem " << i << " comp " << c;
+      }
+    }
+  }
+}
+
+TEST(IlInterpTest, SumOfInputsMatchesClosedForm) {
+  il::Signature sig;
+  sig.inputs = 3;
+  sig.outputs = 1;
+  il::Builder b("sum3", sig);
+  const unsigned i0 = b.Fetch(0);
+  const unsigned i1 = b.Fetch(1);
+  const unsigned i2 = b.Fetch(2);
+  const unsigned s = b.Add(Operand::Reg(b.Add(Operand::Reg(i0),
+                                              Operand::Reg(i1))),
+                           Operand::Reg(i2));
+  b.Write(0, s);
+  const il::Kernel k = std::move(b).Build();
+
+  const Domain domain{4, 4};
+  const FuncResult r = RunIl(k, domain);
+  for (unsigned y = 0; y < domain.height; ++y) {
+    for (unsigned x = 0; x < domain.width; ++x) {
+      const Vec4 expect = [&] {
+        Vec4 v{0, 0, 0, 0};
+        for (unsigned res = 0; res < 3; ++res) {
+          const Vec4 in = DefaultInputPattern(res, x, y);
+          for (int c = 0; c < 4; ++c) v[c] += in[c];
+        }
+        return v;
+      }();
+      const Vec4& got = r.outputs[0][y * domain.width + x];
+      for (int c = 0; c < 4; ++c) EXPECT_EQ(got[c], expect[c]);
+    }
+  }
+}
+
+TEST(IlInterpTest, ConstantsAndLiterals) {
+  il::Signature sig;
+  sig.inputs = 1;
+  sig.outputs = 1;
+  sig.constants = 2;
+  il::Builder b("const", sig);
+  const unsigned a = b.Fetch(0);
+  const unsigned m = b.Mul(Operand::Reg(a), Operand::Const(1));
+  const unsigned s = b.Add(Operand::Reg(m), Operand::Lit(0.5f));
+  b.Write(0, s);
+  const il::Kernel k = std::move(b).Build();
+  const std::vector<Vec4> constants = {{0, 0, 0, 0}, {2, 2, 2, 2}};
+  const FuncResult r = RunIl(k, Domain{1, 1}, DefaultInputPattern, constants);
+  const Vec4 in = DefaultInputPattern(0, 0, 0);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(r.outputs[0][0][c], in[c] * 2.0f + 0.5f);
+  }
+}
+
+TEST(IlInterpTest, MadAndTranscendentals) {
+  il::Signature sig;
+  sig.inputs = 2;
+  sig.outputs = 1;
+  il::Builder b("mad", sig);
+  const unsigned a = b.Fetch(0);
+  const unsigned c = b.Fetch(1);
+  const unsigned m = b.Mad(Operand::Reg(a), Operand::Reg(c), Operand::Reg(a));
+  const unsigned rcp = b.Alu1(il::Opcode::kRcp, Operand::Lit(4.0f));
+  const unsigned s = b.Add(Operand::Reg(m), Operand::Reg(rcp));
+  b.Write(0, s);
+  const FuncResult r = RunIl(std::move(b).Build(), Domain{1, 1});
+  const Vec4 av = DefaultInputPattern(0, 0, 0);
+  const Vec4 cv = DefaultInputPattern(1, 0, 0);
+  for (int comp = 0; comp < 4; ++comp) {
+    EXPECT_FLOAT_EQ(r.outputs[0][0][comp],
+                    av[comp] * cv[comp] + av[comp] + 0.25f);
+  }
+}
+
+// The core compiler-validation property: IL and compiled-ISA execution
+// agree bit-for-bit across kernel shapes, data types, and paths.
+struct IsaEquivCase {
+  unsigned inputs;
+  unsigned outputs;
+  unsigned alu_ops;
+  DataType type;
+  ReadPath read;
+  WritePath write;
+};
+
+class IsaEquivalence : public ::testing::TestWithParam<IsaEquivCase> {};
+
+TEST_P(IsaEquivalence, IlAndIsaAgree) {
+  const IsaEquivCase& tc = GetParam();
+  suite::GenericSpec spec;
+  spec.inputs = tc.inputs;
+  spec.outputs = tc.outputs;
+  spec.alu_ops = tc.alu_ops;
+  spec.type = tc.type;
+  spec.read_path = tc.read;
+  spec.write_path = tc.write;
+  const il::Kernel k = suite::GenerateGeneric(spec);
+  const isa::Program p = compiler::Compile(k, MakeRV770());
+  const Domain domain{8, 4};
+  ExpectSameOutputs(RunIl(k, domain), RunIsa(p, domain));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GenericKernels, IsaEquivalence,
+    ::testing::Values(
+        IsaEquivCase{2, 1, 1, DataType::kFloat, ReadPath::kTexture,
+                     WritePath::kStream},
+        IsaEquivCase{2, 1, 64, DataType::kFloat, ReadPath::kTexture,
+                     WritePath::kStream},
+        IsaEquivCase{16, 1, 128, DataType::kFloat, ReadPath::kTexture,
+                     WritePath::kStream},
+        IsaEquivCase{16, 1, 128, DataType::kFloat4, ReadPath::kTexture,
+                     WritePath::kStream},
+        IsaEquivCase{8, 8, 32, DataType::kFloat, ReadPath::kTexture,
+                     WritePath::kStream},
+        IsaEquivCase{8, 4, 24, DataType::kFloat4, ReadPath::kGlobal,
+                     WritePath::kGlobal},
+        IsaEquivCase{12, 1, 300, DataType::kFloat, ReadPath::kTexture,
+                     WritePath::kGlobal},
+        IsaEquivCase{40, 1, 200, DataType::kFloat, ReadPath::kTexture,
+                     WritePath::kStream}));
+
+// The register-usage kernels (multi-TEX-clause) and their clause-usage
+// controls must also execute identically pre/post compilation.
+class RegisterKernelEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RegisterKernelEquivalence, IlAndIsaAgree) {
+  suite::RegisterUsageSpec spec;
+  spec.step = GetParam();
+  for (const bool control : {false, true}) {
+    const il::Kernel k = control ? suite::GenerateClauseUsage(spec)
+                                 : suite::GenerateRegisterUsage(spec);
+    const isa::Program p = compiler::Compile(k, MakeRV770());
+    const Domain domain{4, 4};
+    ExpectSameOutputs(RunIl(k, domain), RunIsa(p, domain));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, RegisterKernelEquivalence,
+                         ::testing::Values(0u, 1u, 3u, 6u, 7u));
+
+// Equivalence also holds across architectures (different clause limits).
+TEST(IsaEquivalenceTest, AcrossArchitectures) {
+  suite::GenericSpec spec;
+  spec.inputs = 20;
+  spec.alu_ops = 140;
+  const il::Kernel k = suite::GenerateGeneric(spec);
+  const FuncResult ref = RunIl(k, Domain{4, 4});
+  for (const GpuArch& arch : AllArchs()) {
+    const isa::Program p = compiler::Compile(k, arch);
+    ExpectSameOutputs(ref, RunIsa(p, Domain{4, 4}));
+  }
+}
+
+}  // namespace
+}  // namespace amdmb::cal

@@ -1,0 +1,181 @@
+// Kernel-generator tests: the paper's generation rules (Figs. 3, 5, 6).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "common/status.hpp"
+#include "il/verifier.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::suite {
+namespace {
+
+TEST(AluOpsForRatioTest, FourToOneConvention) {
+  // Paper Sec. III-A: 2 inputs at ratio 2.0 -> 16 ALU ops.
+  EXPECT_EQ(AluOpsForRatio(2.0, 2), 16u);
+  EXPECT_EQ(AluOpsForRatio(1.0, 16), 64u);
+  EXPECT_EQ(AluOpsForRatio(0.25, 16), 16u);
+  EXPECT_THROW(AluOpsForRatio(0.0, 4), ConfigError);
+}
+
+TEST(GenericTest, ExactOpCounts) {
+  for (unsigned inputs : {2u, 5u, 16u}) {
+    for (unsigned alu_ops : {inputs - 1, inputs + 7, 128u}) {
+      GenericSpec spec;
+      spec.inputs = inputs;
+      spec.alu_ops = alu_ops;
+      const il::Kernel k = GenerateGeneric(spec);
+      EXPECT_EQ(k.CountFetchOps(), inputs);
+      EXPECT_EQ(k.CountAluOps(), alu_ops);
+      EXPECT_EQ(k.CountWriteOps(), 1u);
+      EXPECT_TRUE(il::Verify(k).ok());
+    }
+  }
+}
+
+TEST(GenericTest, SamplingPrecedesAllAluOps) {
+  GenericSpec spec;
+  spec.inputs = 8;
+  spec.alu_ops = 32;
+  const il::Kernel k = GenerateGeneric(spec);
+  bool seen_alu = false;
+  for (const il::Inst& inst : k.code) {
+    if (il::IsAlu(inst.op)) seen_alu = true;
+    if (il::IsFetch(inst.op)) {
+      EXPECT_FALSE(seen_alu);
+    }
+  }
+}
+
+// Paper Sec. III: "no input is used more than once".
+TEST(GenericTest, EachInputUsedExactlyOnce) {
+  GenericSpec spec;
+  spec.inputs = 10;
+  spec.alu_ops = 40;
+  const il::Kernel k = GenerateGeneric(spec);
+  std::vector<unsigned> fetch_regs;
+  for (const il::Inst& inst : k.code) {
+    if (il::IsFetch(inst.op)) fetch_regs.push_back(inst.dst);
+  }
+  for (unsigned reg : fetch_regs) {
+    unsigned uses = 0;
+    for (const il::Inst& inst : k.code) {
+      for (const il::Operand& src : inst.srcs) {
+        if (src.kind == il::OperandKind::kVirtualReg && src.index == reg) {
+          ++uses;
+        }
+      }
+    }
+    EXPECT_EQ(uses, 1u) << "input register r" << reg;
+  }
+}
+
+TEST(GenericTest, MultipleOutputsGetDistinctValues) {
+  GenericSpec spec;
+  spec.inputs = 8;
+  spec.outputs = 8;
+  spec.alu_ops = 16;
+  const il::Kernel k = GenerateGeneric(spec);
+  std::set<unsigned> sources;
+  for (const il::Inst& inst : k.code) {
+    if (il::IsWrite(inst.op)) {
+      EXPECT_TRUE(sources.insert(inst.srcs.front().index).second);
+    }
+  }
+  EXPECT_EQ(sources.size(), 8u);
+  EXPECT_EQ(k.CountAluOps(), 16u);  // Output chaining stays in budget.
+}
+
+TEST(GenericTest, RejectsImpossibleSpecs) {
+  GenericSpec spec;
+  spec.inputs = 1;  // Chain needs two values.
+  EXPECT_THROW(GenerateGeneric(spec), ConfigError);
+  spec.inputs = 8;
+  spec.alu_ops = 3;  // Cannot fold 8 inputs with 3 ops.
+  EXPECT_THROW(GenerateGeneric(spec), ConfigError);
+  spec.alu_ops = 8;
+  spec.outputs = 0;
+  EXPECT_THROW(GenerateGeneric(spec), ConfigError);
+}
+
+TEST(GenericTest, PathsPropagateToOpcodes) {
+  GenericSpec spec;
+  spec.inputs = 2;
+  spec.alu_ops = 4;
+  spec.read_path = ReadPath::kGlobal;
+  spec.write_path = WritePath::kGlobal;
+  const il::Kernel k = GenerateGeneric(spec);
+  for (const il::Inst& inst : k.code) {
+    EXPECT_NE(inst.op, il::Opcode::kSample);
+    EXPECT_NE(inst.op, il::Opcode::kExport);
+  }
+}
+
+TEST(RegisterUsageTest, TotalOpsConstantAcrossSteps) {
+  std::optional<unsigned> alu_ops;
+  for (unsigned step = 0; step <= 7; ++step) {
+    RegisterUsageSpec spec;
+    spec.step = step;
+    const il::Kernel k = GenerateRegisterUsage(spec);
+    EXPECT_EQ(k.CountFetchOps(), spec.inputs);
+    if (!alu_ops) alu_ops = k.CountAluOps();
+    EXPECT_EQ(k.CountAluOps(), *alu_ops) << "step=" << step;
+    EXPECT_EQ(*alu_ops, AluOpsForRatio(spec.alu_fetch_ratio, spec.inputs));
+  }
+}
+
+// Fig. 4 layout: Sample(inputs - space*step), then `step` groups of
+// Sample(space).
+TEST(RegisterUsageTest, LateSamplingLayout) {
+  RegisterUsageSpec spec;
+  spec.inputs = 64;
+  spec.space = 8;
+  spec.step = 4;
+  const il::Kernel k = GenerateRegisterUsage(spec);
+  std::vector<unsigned> group_sizes;
+  unsigned run = 0;
+  for (const il::Inst& inst : k.code) {
+    if (il::IsFetch(inst.op)) {
+      ++run;
+    } else if (run > 0) {
+      group_sizes.push_back(run);
+      run = 0;
+    }
+  }
+  ASSERT_EQ(group_sizes.size(), 5u);
+  EXPECT_EQ(group_sizes[0], 64u - 8 * 4);
+  for (std::size_t i = 1; i < group_sizes.size(); ++i) {
+    EXPECT_EQ(group_sizes[i], 8u);
+  }
+}
+
+TEST(RegisterUsageTest, RejectsTooLargeStep) {
+  RegisterUsageSpec spec;
+  spec.inputs = 16;
+  spec.space = 8;
+  spec.step = 2;  // 16 - 16 = 0 initial inputs: invalid.
+  EXPECT_THROW(GenerateRegisterUsage(spec), ConfigError);
+}
+
+// Fig. 5 control: same ALU ops, same segmentation, all sampling first.
+TEST(ClauseUsageTest, SamplesEverythingUpFront) {
+  RegisterUsageSpec spec;
+  spec.step = 5;
+  const il::Kernel k = GenerateClauseUsage(spec);
+  bool seen_alu = false;
+  unsigned breaks = 0;
+  for (const il::Inst& inst : k.code) {
+    if (il::IsAlu(inst.op)) seen_alu = true;
+    if (il::IsFetch(inst.op)) {
+      EXPECT_FALSE(seen_alu);
+    }
+    if (inst.op == il::Opcode::kClauseBreak) ++breaks;
+  }
+  EXPECT_EQ(breaks, 5u);
+  EXPECT_EQ(k.CountAluOps(),
+            GenerateRegisterUsage(spec).CountAluOps());
+}
+
+}  // namespace
+}  // namespace amdmb::suite

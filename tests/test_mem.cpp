@@ -1,0 +1,234 @@
+// Unit tests for src/mem: tiling, the 2-D-indexed texture cache, the
+// memory controller, and the texture unit block.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/gpu_arch.hpp"
+#include "common/status.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/texture_unit.hpp"
+#include "mem/tiling.hpp"
+
+namespace amdmb::mem {
+namespace {
+
+TEST(TilingTest, TileShapesForPaperFormats) {
+  // 64B line: float -> 4x4 texels, float4 -> 2x2 (RV670/RV770).
+  EXPECT_EQ(TileFor(64, 4).width, 4u);
+  EXPECT_EQ(TileFor(64, 4).height, 4u);
+  EXPECT_EQ(TileFor(64, 16).width, 2u);
+  EXPECT_EQ(TileFor(64, 16).height, 2u);
+  // 128B line (RV870): float -> 8x4, float4 -> 4x2.
+  EXPECT_EQ(TileFor(128, 4).width, 8u);
+  EXPECT_EQ(TileFor(128, 4).height, 4u);
+  EXPECT_EQ(TileFor(128, 16).width, 4u);
+  EXPECT_EQ(TileFor(128, 16).height, 2u);
+  EXPECT_THROW(TileFor(60, 16), ConfigError);
+}
+
+TEST(TilingTest, LineIdsCoverTileRectangles) {
+  const TileShape tile = TileFor(64, 4);
+  const TiledLayout layout(0x1000, /*width_texels=*/64, tile, 64);
+  // All texels of one 4x4 tile share a line.
+  const LineId l00 = layout.LineOf(0, 0);
+  EXPECT_EQ(layout.LineOf(3, 3).address, l00.address);
+  EXPECT_NE(layout.LineOf(4, 0).address, l00.address);
+  EXPECT_NE(layout.LineOf(0, 4).address, l00.address);
+  // Tile row changes every `tile.height` rows.
+  EXPECT_EQ(layout.LineOf(0, 3).tile_row, 0u);
+  EXPECT_EQ(layout.LineOf(0, 4).tile_row, 1u);
+  // Lines are 64B apart along a tile row.
+  EXPECT_EQ(layout.LineOf(4, 0).address, l00.address + 64);
+  EXPECT_EQ(layout.TilesPerRow(), 16u);
+}
+
+TEST(TilingTest, LinearAddressRowMajor) {
+  EXPECT_EQ(LinearAddress(100, 10, 3, 2, 4), 100u + (2 * 10 + 3) * 4);
+}
+
+TEST(CacheTest, HitsAfterFill) {
+  TextureCache cache({.size_bytes = 1024, .line_bytes = 64,
+                      .associativity = 2, .two_d_index = false});
+  const LineId line{0x1000, 0};
+  EXPECT_FALSE(cache.Probe(line));
+  EXPECT_TRUE(cache.Probe(line));
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  EXPECT_EQ(cache.Stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.Stats().HitRate(), 0.5);
+}
+
+TEST(CacheTest, LruEvictionWithinSet) {
+  // 2 ways, 8 sets: three lines mapping to one set evict LRU.
+  TextureCache cache({.size_bytes = 1024, .line_bytes = 64,
+                      .associativity = 2, .two_d_index = false});
+  const auto set_stride = 8ull * 64;  // Same set every 8 lines.
+  const LineId a{0 * set_stride, 0};
+  const LineId b{1 * set_stride, 0};
+  const LineId c{2 * set_stride, 0};
+  cache.Probe(a);
+  cache.Probe(b);
+  cache.Probe(a);   // a is MRU.
+  cache.Probe(c);   // Evicts b.
+  EXPECT_TRUE(cache.Probe(a));
+  EXPECT_FALSE(cache.Probe(b));
+}
+
+// The paper's "only half the cache is used" with 1-D access: a pattern
+// confined to one tile row thrashes at half capacity under 2-D indexing
+// but fits with plain indexing.
+TEST(CacheTest, TwoDIndexHalvesCapacityForOneDimensionalPatterns) {
+  const CacheConfig base{.size_bytes = 4096, .line_bytes = 64,
+                         .associativity = 1, .two_d_index = true};
+  TextureCache two_d(base);
+  CacheConfig flat_cfg = base;
+  flat_cfg.two_d_index = false;
+  TextureCache flat(flat_cfg);
+  // 64 distinct lines on tile row 0 (exactly the cache's line count):
+  // fits flat (64 sets) but thrashes 2-D (32 usable sets) completely.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      const LineId line{i * 64, 0};
+      two_d.Probe(line);
+      flat.Probe(line);
+    }
+  }
+  EXPECT_EQ(flat.Stats().hits, 64u);  // Second pass all hits.
+  EXPECT_EQ(two_d.Stats().hits, 0u);  // Pure conflict misses.
+}
+
+TEST(CacheTest, TwoDPatternUsesBothSetGroups) {
+  TextureCache cache({.size_bytes = 4096, .line_bytes = 64,
+                      .associativity = 1, .two_d_index = true});
+  // 64 lines spread over two tile rows: 32 per group, fills both halves
+  // without a single conflict.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      cache.Probe(LineId{i * 64, static_cast<std::uint32_t>(i / 32)});
+    }
+  }
+  EXPECT_EQ(cache.Stats().hits, 64u);
+}
+
+TEST(CacheTest, ResetClearsContentsAndStats) {
+  TextureCache cache({.size_bytes = 1024, .line_bytes = 64,
+                      .associativity = 2, .two_d_index = false});
+  cache.Probe(LineId{0, 0});
+  cache.Reset();
+  EXPECT_EQ(cache.Stats().misses, 0u);
+  EXPECT_FALSE(cache.Probe(LineId{0, 0}));
+}
+
+TEST(CacheTest, RejectsDegenerateGeometry) {
+  EXPECT_THROW(TextureCache({.size_bytes = 64, .line_bytes = 64,
+                             .associativity = 2, .two_d_index = false}),
+               ConfigError);
+}
+
+TEST(DramTest, BandwidthAndOverheadAccounting) {
+  GpuArch arch = MakeRV770();
+  arch.dram.read_bytes_per_cycle = 64.0;
+  arch.global_read_instr_overhead = 10;
+  MemoryController mc(arch);
+  const BatchResult r = mc.GlobalRead(100, 0x0, 640);
+  EXPECT_EQ(r.start, 100u);
+  EXPECT_EQ(r.end, 100u + 10 + 10);  // overhead + 640/64.
+  EXPECT_EQ(mc.Stats().read_bytes, 640u);
+  EXPECT_EQ(mc.Stats().batches, 1u);
+}
+
+TEST(DramTest, SerializesOverlappingBatches) {
+  MemoryController mc(MakeRV770());
+  const BatchResult a = mc.GlobalRead(0, 0, 1024);
+  const BatchResult b = mc.GlobalRead(0, 4096, 1024);
+  EXPECT_EQ(b.start, a.end);  // Second batch queues behind the first.
+  EXPECT_EQ(mc.FreeAt(), b.end);
+}
+
+// Fig. 14: each 32-bit element writes at a constant rate, so a float4
+// write (4x bytes) takes ~4x a float write once past the overhead.
+TEST(DramTest, GlobalWriteScalesWithBytes) {
+  GpuArch arch = MakeRV770();
+  arch.global_write_instr_overhead = 0;
+  MemoryController mc(arch);
+  const Cycles t_float = mc.GlobalWrite(0, 0, 64 * 4).end;
+  mc.Reset();
+  const Cycles t_float4 = mc.GlobalWrite(0, 0, 64 * 16).end;
+  EXPECT_NEAR(static_cast<double>(t_float4) / t_float, 4.0, 0.35);
+}
+
+// Fig. 13: streaming stores burst — the per-instruction cost is mostly
+// overhead, so float4 is close to float.
+TEST(DramTest, StreamStoreIsOverheadDominated) {
+  const GpuArch arch = MakeRV770();
+  MemoryController mc(arch);
+  const Cycles t_float = mc.StreamStore(0, 0, 64 * 4).end;
+  mc.Reset();
+  const Cycles t_float4 = mc.StreamStore(0, 0, 64 * 16).end;
+  EXPECT_LT(static_cast<double>(t_float4) / t_float, 2.0);
+}
+
+TEST(DramTest, RowSwitchPenaltyOnFills) {
+  GpuArch arch = MakeRV770();
+  arch.dram.row_switch_cycles = 50;
+  arch.dram.row_bytes = 2048;
+  MemoryController mc(arch);
+  // Two lines in the same row: one switch. Then a different row: another.
+  const std::uint64_t same_row[] = {0, 64};
+  const std::uint64_t other_row[] = {4096};
+  const BatchResult a = mc.FillLines(0, same_row, 64);
+  EXPECT_EQ(mc.Stats().row_switches, 1u);
+  const BatchResult b = mc.FillLines(a.end, other_row, 64);
+  EXPECT_EQ(mc.Stats().row_switches, 2u);
+  EXPECT_GT(b.end - b.start, 50u);
+  EXPECT_GT(mc.Stats().fill_busy_cycles, 0u);
+}
+
+TEST(DramTest, EmptyFillIsFree) {
+  MemoryController mc(MakeRV770());
+  const BatchResult r = mc.FillLines(42, {}, 64);
+  EXPECT_EQ(r.start, 42u);
+  EXPECT_EQ(r.end, 42u);
+  EXPECT_EQ(mc.Stats().batches, 0u);
+}
+
+// Texture unit service must be byte-proportional: one float4 fetch costs
+// four float fetches (the Fig. 11 slope relationship).
+TEST(TextureUnitTest, ServiceProportionalToBytes) {
+  const GpuArch arch = MakeRV770();
+  TextureCache cache({.size_bytes = arch.TotalTexCacheBytes(),
+                      .line_bytes = 64, .associativity = 8,
+                      .two_d_index = true});
+  MemoryController mc(arch);
+  TextureUnitBlock block(arch, cache, mc);
+  EXPECT_EQ(block.ServicePerFetch(DataType::kFloat, 64), 16u);
+  EXPECT_EQ(block.ServicePerFetch(DataType::kFloat4, 64), 64u);
+}
+
+TEST(TextureUnitTest, MissesStallAndHitsDoNot) {
+  const GpuArch arch = MakeRV770();
+  TextureCache cache({.size_bytes = arch.TotalTexCacheBytes(),
+                      .line_bytes = 64, .associativity = 8,
+                      .two_d_index = true});
+  MemoryController mc(arch);
+  TextureUnitBlock block(arch, cache, mc);
+  std::vector<std::vector<LineId>> lines(1);
+  for (std::uint64_t i = 0; i < 4; ++i) lines[0].push_back({i * 64, 0});
+
+  const TexClauseTiming cold = block.ServeClause(0, DataType::kFloat, 64,
+                                                 lines);
+  EXPECT_EQ(cold.miss_instrs, 1u);
+  EXPECT_EQ(cold.line_misses, 4u);
+
+  const TexClauseTiming warm =
+      block.ServeClause(cold.complete, DataType::kFloat, 64, lines);
+  EXPECT_EQ(warm.miss_instrs, 0u);
+  EXPECT_EQ(warm.line_hits, 4u);
+  EXPECT_GT(cold.complete - cold.start, warm.complete - warm.start);
+  // The stall does not occupy the units: service time is identical.
+  EXPECT_EQ(cold.service_end - cold.start, warm.service_end - warm.start);
+}
+
+}  // namespace
+}  // namespace amdmb::mem

@@ -1,0 +1,203 @@
+// Property-based invariants of the whole pipeline, swept over a grid of
+// kernel shapes, data types, memory paths, shader modes, and GPUs.
+// Everything here must hold for *any* kernel the suite can generate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/occupancy.hpp"
+#include "cal/interp.hpp"
+#include "common/status.hpp"
+#include "compiler/compiler.hpp"
+#include "mem/tiling.hpp"
+#include "sim/gpu.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb {
+namespace {
+
+struct PropertyCase {
+  std::string arch;
+  ShaderMode mode;
+  DataType type;
+  ReadPath read;
+  WritePath write;
+  unsigned inputs;
+  unsigned outputs;
+  unsigned alu_ops;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  std::ostringstream os;
+  os << c.arch << "_" << ToString(c.mode) << "_" << ToString(c.type) << "_r"
+     << ToString(c.read) << "_w" << ToString(c.write) << "_i" << c.inputs
+     << "_o" << c.outputs << "_a" << c.alu_ops;
+  return os.str();
+}
+
+std::vector<PropertyCase> BuildGrid() {
+  std::vector<PropertyCase> cases;
+  for (const char* arch : {"RV670", "RV770", "RV870"}) {
+    for (const ShaderMode mode : {ShaderMode::kPixel, ShaderMode::kCompute}) {
+      if (mode == ShaderMode::kCompute && std::string(arch) == "RV670") {
+        continue;
+      }
+      for (const DataType type : {DataType::kFloat, DataType::kFloat4}) {
+        for (const ReadPath read : {ReadPath::kTexture, ReadPath::kGlobal}) {
+          // Compute mode must write global; pixel mode exercises both.
+          const WritePath write = mode == ShaderMode::kCompute
+                                      ? WritePath::kGlobal
+                                      : (type == DataType::kFloat
+                                             ? WritePath::kStream
+                                             : WritePath::kGlobal);
+          for (const auto& [inputs, outputs, alu] :
+               {std::tuple{2u, 1u, 4u}, std::tuple{16u, 1u, 64u},
+                std::tuple{8u, 4u, 32u}}) {
+            cases.push_back(PropertyCase{arch, mode, type, read, write,
+                                         inputs, outputs, alu});
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  il::Kernel MakeKernel() const {
+    const PropertyCase& c = GetParam();
+    suite::GenericSpec spec;
+    spec.inputs = c.inputs;
+    spec.outputs = c.outputs;
+    spec.alu_ops = c.alu_ops;
+    spec.type = c.type;
+    spec.read_path = c.read;
+    spec.write_path = c.write;
+    return suite::GenerateGeneric(spec);
+  }
+};
+
+TEST_P(PipelineProperty, StaticCountsSurviveCompilation) {
+  const PropertyCase& c = GetParam();
+  const GpuArch arch = ArchByName(c.arch);
+  const il::Kernel kernel = MakeKernel();
+  const isa::Program program = compiler::Compile(kernel, arch);
+
+  EXPECT_EQ(program.stats.alu_ops, kernel.CountAluOps());
+  EXPECT_EQ(program.stats.tex_fetches + program.stats.global_reads,
+            kernel.CountFetchOps());
+  EXPECT_EQ(program.stats.writes, kernel.CountWriteOps());
+  // Dependent chains never pack: bundles == ops.
+  EXPECT_EQ(program.stats.alu_bundles, program.stats.alu_ops);
+  EXPECT_GE(program.gpr_count, 1u);
+  EXPECT_LE(program.gpr_count, c.inputs + 2);
+  // Clause capacity limits hold.
+  for (const isa::Clause& clause : program.clauses) {
+    EXPECT_LE(clause.fetches.size(), arch.max_tex_fetches_per_clause);
+    EXPECT_LE(clause.bundles.size(), arch.max_alu_bundles_per_clause);
+  }
+  EXPECT_FALSE(isa::Disassemble(program).empty());
+}
+
+TEST_P(PipelineProperty, FunctionalEquivalenceIlVsIsa) {
+  const PropertyCase& c = GetParam();
+  const il::Kernel kernel = MakeKernel();
+  const isa::Program program =
+      compiler::Compile(kernel, ArchByName(c.arch));
+  const Domain domain{4, 4};
+  const cal::FuncResult a = cal::RunIl(kernel, domain);
+  const cal::FuncResult b = cal::RunIsa(program, domain);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (std::size_t o = 0; o < a.outputs.size(); ++o) {
+    for (std::size_t i = 0; i < a.outputs[o].size(); ++i) {
+      for (int comp = 0; comp < 4; ++comp) {
+        ASSERT_EQ(a.outputs[o][i][comp], b.outputs[o][i][comp]);
+      }
+    }
+  }
+}
+
+TEST_P(PipelineProperty, SimulationInvariants) {
+  const PropertyCase& c = GetParam();
+  const GpuArch arch = ArchByName(c.arch);
+  const il::Kernel kernel = MakeKernel();
+  const isa::Program program = compiler::Compile(kernel, arch);
+  sim::Gpu gpu(arch);
+  sim::LaunchConfig launch;
+  launch.domain = Domain{128, 128};
+  launch.mode = c.mode;
+  launch.repetitions = 1;
+  const sim::KernelStats stats = gpu.Execute(program, launch);
+
+  // Time and utilisation sanity.
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_GE(stats.alu_utilization, 0.0);
+  EXPECT_LE(stats.alu_utilization, 1.0);
+  EXPECT_GE(stats.fetch_utilization, 0.0);
+  EXPECT_LE(stats.fetch_utilization, 1.0);
+  EXPECT_GE(stats.memory_utilization, 0.0);
+  EXPECT_LE(stats.memory_utilization, 1.0 + 1e-9);
+
+  // Occupancy bookkeeping.
+  EXPECT_EQ(stats.gpr_count, program.gpr_count);
+  EXPECT_EQ(stats.resident_wavefronts,
+            WavefrontsPerSimd(arch, program.gpr_count));
+  EXPECT_EQ(stats.wavefront_count,
+            launch.domain.ThreadCount() / arch.wavefront_size);
+
+  // Exact traffic accounting on the write side: every output element is
+  // written exactly once.
+  const Bytes output_bytes =
+      static_cast<Bytes>(c.outputs) * launch.domain.ThreadCount() *
+      ElementBytes(c.type);
+  EXPECT_EQ(stats.dram.write_bytes, output_bytes);
+
+  // Read-side lower bound: with texture reads, every line of every input
+  // is filled at least once (no reuse can beat compulsory misses).
+  if (c.read == ReadPath::kTexture) {
+    const mem::TileShape tile =
+        mem::TileFor(arch.l1.line_bytes, ElementBytes(c.type));
+    const Bytes lines_per_input =
+        static_cast<Bytes>((launch.domain.width + tile.width - 1) /
+                           tile.width) *
+        ((launch.domain.height + tile.height - 1) / tile.height);
+    EXPECT_GE(stats.dram.read_bytes,
+              lines_per_input * arch.l1.line_bytes * c.inputs);
+    EXPECT_GT(stats.cache.hits + stats.cache.misses, 0u);
+  } else {
+    // Uncached global reads: exactly the stream bytes, once per launch.
+    EXPECT_EQ(stats.dram.read_bytes,
+              static_cast<Bytes>(c.inputs) * launch.domain.ThreadCount() *
+                  ElementBytes(c.type));
+  }
+
+  // Determinism.
+  const sim::KernelStats again = gpu.Execute(program, launch);
+  EXPECT_EQ(again.cycles, stats.cycles);
+  EXPECT_EQ(again.dram.read_bytes, stats.dram.read_bytes);
+}
+
+// Repetition scaling is exactly linear.
+TEST_P(PipelineProperty, RepetitionScaling) {
+  const PropertyCase& c = GetParam();
+  const GpuArch arch = ArchByName(c.arch);
+  const isa::Program program = compiler::Compile(MakeKernel(), arch);
+  sim::Gpu gpu(arch);
+  sim::LaunchConfig launch;
+  launch.domain = Domain{128, 128};
+  launch.mode = c.mode;
+  launch.repetitions = 1;
+  const double t1 = gpu.Execute(program, launch).seconds;
+  launch.repetitions = 5000;
+  const double t5000 = gpu.Execute(program, launch).seconds;
+  EXPECT_NEAR(t5000 / t1, 5000.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PipelineProperty,
+                         ::testing::ValuesIn(BuildGrid()), CaseName);
+
+}  // namespace
+}  // namespace amdmb

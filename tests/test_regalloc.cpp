@@ -1,0 +1,174 @@
+// Register-allocation tests: PV forwarding, clause temporaries, and the
+// GPR counts the paper's kernels depend on (Sec. II-B, III, Fig. 2).
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "compiler/compiler.hpp"
+#include "il/builder.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::compiler {
+namespace {
+
+using il::Operand;
+
+unsigned CountLoc(const isa::Program& p, isa::Loc loc) {
+  unsigned n = 0;
+  for (const auto& clause : p.clauses) {
+    for (const auto& bundle : clause.bundles) {
+      for (const auto& op : bundle.ops) {
+        for (const auto& src : op.srcs) n += src.loc == loc ? 1 : 0;
+      }
+    }
+  }
+  return n;
+}
+
+// The generic kernel samples all inputs up front, so its GPR usage tracks
+// the input count (paper: Fig. 2's three inputs use three GPRs; the
+// texture-fetch-latency kernel's GPRs grow with the input size).
+TEST(RegallocTest, GenericKernelGprsTrackInputs) {
+  for (unsigned inputs : {2u, 3u, 8u, 16u, 64u}) {
+    suite::GenericSpec spec;
+    spec.inputs = inputs;
+    spec.alu_ops = inputs * 4;
+    const isa::Program p = Compile(suite::GenerateGeneric(spec), MakeRV770());
+    EXPECT_GE(p.gpr_count, inputs) << "inputs=" << inputs;
+    EXPECT_LE(p.gpr_count, inputs + 2) << "inputs=" << inputs;
+  }
+}
+
+// Paper Sec. III-C: with outputs below the (fixed) input size, GPR usage
+// is pinned by the inputs and does not vary with the output count.
+TEST(RegallocTest, WriteKernelGprsPinnedByInputs) {
+  unsigned baseline = 0;
+  for (unsigned outputs = 1; outputs <= 8; ++outputs) {
+    suite::GenericSpec spec;
+    spec.inputs = 8;
+    spec.outputs = outputs;
+    spec.alu_ops = 16;
+    const isa::Program p = Compile(suite::GenerateGeneric(spec), MakeRV770());
+    if (outputs == 1) baseline = p.gpr_count;
+    EXPECT_EQ(p.gpr_count, baseline) << "outputs=" << outputs;
+  }
+}
+
+// Paper Sec. III-E / Fig. 16: deferring sampling with space/step lowers
+// the peak GPR count roughly by space per step.
+TEST(RegallocTest, RegisterUsageKernelGprsFallWithStep) {
+  std::vector<unsigned> gprs;
+  for (unsigned step = 0; step <= 7; ++step) {
+    suite::RegisterUsageSpec spec;
+    spec.inputs = 64;
+    spec.space = 8;
+    spec.step = step;
+    spec.alu_fetch_ratio = 4.0;
+    const isa::Program p =
+        Compile(suite::GenerateRegisterUsage(spec), MakeRV770());
+    gprs.push_back(p.gpr_count);
+  }
+  for (std::size_t i = 1; i < gprs.size(); ++i) {
+    EXPECT_LT(gprs[i], gprs[i - 1]) << "step=" << i;
+  }
+  // Paper x-axis runs 64 down to ~10.
+  EXPECT_GE(gprs.front(), 63u);
+  EXPECT_LE(gprs.back(), 12u);
+}
+
+// Fig. 5 control: sampling everything up front pins the GPR count at the
+// input size regardless of step.
+TEST(RegallocTest, ClauseControlKernelGprsConstant) {
+  std::vector<unsigned> gprs;
+  for (unsigned step = 0; step <= 7; ++step) {
+    suite::RegisterUsageSpec spec;
+    spec.step = step;
+    const isa::Program p =
+        Compile(suite::GenerateClauseUsage(spec), MakeRV770());
+    gprs.push_back(p.gpr_count);
+  }
+  for (unsigned g : gprs) EXPECT_EQ(g, gprs.front());
+  EXPECT_GE(gprs.front(), 63u);
+}
+
+// "Special 'previous' registers allow data dependency between alu
+// operations without having to occupy a global purpose register."
+TEST(RegallocTest, LinearChainUsesPvNotGprs) {
+  il::Signature sig;
+  sig.inputs = 2;
+  sig.outputs = 1;
+  il::Builder b("pv", sig);
+  const unsigned a = b.Fetch(0);
+  const unsigned c = b.Fetch(1);
+  // Linear chain: each value used exactly once, in the next op.
+  unsigned acc = b.Add(Operand::Reg(a), Operand::Reg(c));
+  for (int i = 0; i < 20; ++i) acc = b.Add(Operand::Reg(acc), Operand::Reg(acc));
+  b.Write(0, acc);
+  const isa::Program p = Compile(std::move(b).Build(), MakeRV770());
+  // 2 input GPRs + 1 for the value carried into the export clause.
+  EXPECT_LE(p.gpr_count, 3u);
+  EXPECT_GT(CountLoc(p, isa::Loc::kPv), 15u);
+}
+
+// The r[reg-1] + r[reg-2] chain needs clause temporaries (values live two
+// bundles) but still no extra GPRs.
+TEST(RegallocTest, FibChainUsesClauseTemps) {
+  suite::GenericSpec spec;
+  spec.inputs = 2;
+  spec.alu_ops = 30;
+  const isa::Program p = Compile(suite::GenerateGeneric(spec), MakeRV770());
+  EXPECT_LE(p.gpr_count, 4u);
+  EXPECT_GT(CountLoc(p, isa::Loc::kTemp), 10u);
+}
+
+// Values crossing a clause boundary must live in GPRs: force a split and
+// confirm the carried value is not a temp.
+TEST(RegallocTest, CrossClauseValuesUseGprs) {
+  il::Signature sig;
+  sig.inputs = 2;
+  sig.outputs = 1;
+  il::Builder b("cross", sig);
+  const unsigned a = b.Fetch(0);
+  const unsigned c = b.Fetch(1);
+  unsigned acc = b.Add(Operand::Reg(a), Operand::Reg(c));
+  b.ClauseBreak();
+  acc = b.Add(Operand::Reg(acc), Operand::Reg(acc));
+  b.Write(0, acc);
+  const isa::Program p = Compile(std::move(b).Build(), MakeRV770());
+  // The pre-break accumulator crosses a clause: must be a GPR read in the
+  // second ALU clause.
+  const isa::Clause& second_alu = p.clauses[2];
+  ASSERT_EQ(second_alu.type, isa::ClauseType::kAlu);
+  for (const auto& src : second_alu.bundles.front().ops.front().srcs) {
+    EXPECT_EQ(src.loc, isa::Loc::kGpr);
+  }
+}
+
+// The 256-GPR per-thread budget is enforced.
+TEST(RegallocTest, GprBudgetEnforced) {
+  suite::GenericSpec spec;
+  spec.inputs = 300;  // Sampling 300 inputs up front cannot fit.
+  spec.alu_ops = 600;
+  EXPECT_THROW(Compile(suite::GenerateGeneric(spec), MakeRV770()), SimError);
+}
+
+// GPR indices must be reused once values die: a long sequence of
+// short-lived cross-clause values should recycle a small set of GPRs.
+TEST(RegallocTest, GprsAreRecycled) {
+  il::Signature sig;
+  sig.inputs = 2;
+  sig.outputs = 1;
+  il::Builder b("recycle", sig);
+  const unsigned a = b.Fetch(0);
+  const unsigned c = b.Fetch(1);
+  unsigned acc = b.Add(Operand::Reg(a), Operand::Reg(c));
+  for (int i = 0; i < 10; ++i) {
+    b.ClauseBreak();  // Forces each accumulator across a clause boundary.
+    acc = b.Add(Operand::Reg(acc), Operand::Reg(acc));
+  }
+  b.Write(0, acc);
+  const isa::Program p = Compile(std::move(b).Build(), MakeRV770());
+  EXPECT_LE(p.gpr_count, 4u);
+}
+
+}  // namespace
+}  // namespace amdmb::compiler

@@ -1,0 +1,194 @@
+// Simulator behaviour tests: timing sanity, occupancy effects,
+// bottleneck classification, and launch validation.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "compiler/compiler.hpp"
+#include "sim/gpu.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::sim {
+namespace {
+
+isa::Program CompileGeneric(const GpuArch& arch, unsigned inputs,
+                            unsigned alu_ops, DataType type,
+                            ReadPath read = ReadPath::kTexture,
+                            WritePath write = WritePath::kStream,
+                            unsigned outputs = 1) {
+  suite::GenericSpec spec;
+  spec.inputs = inputs;
+  spec.outputs = outputs;
+  spec.alu_ops = alu_ops;
+  spec.type = type;
+  spec.read_path = read;
+  spec.write_path = write;
+  return compiler::Compile(suite::GenerateGeneric(spec), arch);
+}
+
+LaunchConfig SmallLaunch(ShaderMode mode = ShaderMode::kPixel) {
+  LaunchConfig config;
+  config.domain = Domain{256, 256};
+  config.mode = mode;
+  config.repetitions = 5000;
+  return config;
+}
+
+TEST(GpuTest, AluBoundTimeMatchesBundleArithmetic) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  // Heavily ALU-bound kernel: time ~= waves/SIMD * bundles * 4 cycles.
+  const isa::Program p =
+      CompileGeneric(arch, 4, 1024, DataType::kFloat);
+  const KernelStats stats = gpu.Execute(p, SmallLaunch());
+  const double waves_per_simd =
+      256.0 * 256 / arch.wavefront_size / arch.simd_engines;
+  const double expected = waves_per_simd * 1024 * 4;
+  EXPECT_NEAR(static_cast<double>(stats.cycles), expected, expected * 0.15);
+  EXPECT_EQ(stats.bottleneck, Bottleneck::kAlu);
+  EXPECT_GT(stats.alu_utilization, 0.85);
+}
+
+TEST(GpuTest, SecondsScaleWithRepetitionsAndClock) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program p = CompileGeneric(arch, 4, 64, DataType::kFloat);
+  LaunchConfig config = SmallLaunch();
+  config.repetitions = 1;
+  const KernelStats one = gpu.Execute(p, config);
+  config.repetitions = 5000;
+  const KernelStats many = gpu.Execute(p, config);
+  EXPECT_NEAR(many.seconds / one.seconds, 5000.0, 1e-6);
+  EXPECT_NEAR(one.seconds, one.cycles / 750.0e6, 1e-12);
+}
+
+TEST(GpuTest, LowRatioKernelIsFetchBound) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program p = CompileGeneric(arch, 16, 16, DataType::kFloat);
+  const KernelStats stats = gpu.Execute(p, SmallLaunch());
+  EXPECT_EQ(stats.bottleneck, Bottleneck::kFetch);
+}
+
+TEST(GpuTest, WriteHeavyKernelIsMemoryBound) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program p =
+      CompileGeneric(arch, 8, 16, DataType::kFloat4, ReadPath::kTexture,
+                     WritePath::kGlobal, /*outputs=*/8);
+  const KernelStats stats = gpu.Execute(p, SmallLaunch());
+  EXPECT_EQ(stats.bottleneck, Bottleneck::kMemory);
+  EXPECT_GT(stats.memory_utilization, 0.8);
+}
+
+// More ALU work must never make the kernel faster.
+TEST(GpuTest, TimeMonotoneInAluOps) {
+  const GpuArch arch = MakeRV870();
+  Gpu gpu(arch);
+  double prev = 0.0;
+  for (unsigned ops : {16u, 64u, 256u, 1024u}) {
+    const isa::Program p = CompileGeneric(arch, 16, ops, DataType::kFloat);
+    const double t = gpu.Execute(p, SmallLaunch()).seconds;
+    EXPECT_GE(t, prev) << "ops=" << ops;
+    prev = t;
+  }
+}
+
+// Time grows with the domain (more wavefronts).
+TEST(GpuTest, TimeGrowsWithDomain) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program p = CompileGeneric(arch, 8, 320, DataType::kFloat);
+  LaunchConfig config = SmallLaunch();
+  const double t256 = gpu.Execute(p, config).seconds;
+  config.domain = Domain{512, 512};
+  const double t512 = gpu.Execute(p, config).seconds;
+  EXPECT_NEAR(t512 / t256, 4.0, 0.5);
+}
+
+// The ALU-bound plateau: float and float4 cost the same cycles because
+// the dependent chain defeats VLIW packing (paper Sec. IV-D).
+TEST(GpuTest, AluBoundTimeIndependentOfDataType) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program pf =
+      CompileGeneric(arch, 8, 320, DataType::kFloat);
+  const isa::Program p4 =
+      CompileGeneric(arch, 8, 320, DataType::kFloat4);
+  const double tf = gpu.Execute(pf, SmallLaunch()).seconds;
+  const double t4 = gpu.Execute(p4, SmallLaunch()).seconds;
+  EXPECT_NEAR(t4 / tf, 1.0, 0.1);
+}
+
+// More SIMD engines finish ALU-bound work proportionally faster.
+TEST(GpuTest, ScalesAcrossGenerations) {
+  const isa::Program p670 =
+      CompileGeneric(MakeRV670(), 8, 640, DataType::kFloat);
+  const isa::Program p870 =
+      CompileGeneric(MakeRV870(), 8, 640, DataType::kFloat);
+  Gpu rv670(MakeRV670());
+  Gpu rv870(MakeRV870());
+  const double t670 = rv670.Execute(p670, SmallLaunch()).seconds;
+  const double t870 = rv870.Execute(p870, SmallLaunch()).seconds;
+  // 4 SIMDs @750 vs 20 SIMDs @850: ~5.7x.
+  EXPECT_NEAR(t670 / t870, 5.7, 1.2);
+}
+
+TEST(GpuTest, ComputeModeRejectedOnRv670) {
+  Gpu gpu(MakeRV670());
+  const isa::Program p =
+      CompileGeneric(MakeRV670(), 4, 16, DataType::kFloat, ReadPath::kTexture,
+                     WritePath::kGlobal);
+  EXPECT_THROW(gpu.Execute(p, SmallLaunch(ShaderMode::kCompute)), ConfigError);
+}
+
+TEST(GpuTest, StreamingStoreRejectedInComputeMode) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program p = CompileGeneric(arch, 4, 16, DataType::kFloat);
+  EXPECT_THROW(gpu.Execute(p, SmallLaunch(ShaderMode::kCompute)), ConfigError);
+}
+
+TEST(GpuTest, DeterministicAcrossRuns) {
+  const GpuArch arch = MakeRV870();
+  Gpu gpu(arch);
+  const isa::Program p = CompileGeneric(arch, 16, 64, DataType::kFloat4);
+  const KernelStats a = gpu.Execute(p, SmallLaunch());
+  const KernelStats b = gpu.Execute(p, SmallLaunch());
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.cache.hits, b.cache.hits);
+  EXPECT_EQ(a.dram.read_bytes, b.dram.read_bytes);
+}
+
+// Occupancy lever: the same clause structure with fewer GPRs (more
+// resident wavefronts) must not be slower on a fetch-latency-bound
+// kernel (paper Sec. IV-E).
+TEST(GpuTest, HigherOccupancyHidesFetchLatency) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  suite::RegisterUsageSpec spec;
+  spec.step = 0;  // 64 inputs up front -> ~3 wavefronts.
+  const isa::Program low_occ =
+      compiler::Compile(suite::GenerateRegisterUsage(spec), arch);
+  spec.step = 7;  // 8 inputs up front -> max wavefronts.
+  const isa::Program high_occ =
+      compiler::Compile(suite::GenerateRegisterUsage(spec), arch);
+  const KernelStats slow = gpu.Execute(low_occ, SmallLaunch());
+  const KernelStats fast = gpu.Execute(high_occ, SmallLaunch());
+  EXPECT_GT(slow.resident_wavefronts, 0u);
+  EXPECT_LT(slow.resident_wavefronts, fast.resident_wavefronts);
+  EXPECT_GT(slow.seconds, fast.seconds * 1.05);
+}
+
+TEST(GpuTest, StatsRenderContainsKeyFields) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program p = CompileGeneric(arch, 4, 16, DataType::kFloat);
+  const std::string text = gpu.Execute(p, SmallLaunch()).Render();
+  for (const char* field : {"cycles/launch", "bottleneck", "GPRs",
+                            "cache hit rate"}) {
+    EXPECT_NE(text.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace amdmb::sim

@@ -1,0 +1,102 @@
+// Execution-trace tests: event capture, capping, and rendering.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hpp"
+#include "sim/gpu.hpp"
+#include "sim/trace.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb::sim {
+namespace {
+
+isa::Program SmallProgram(const GpuArch& arch) {
+  suite::GenericSpec spec;
+  spec.inputs = 4;
+  spec.alu_ops = 70;  // > one interleave chunk: multiple ALU events/wave.
+  return compiler::Compile(suite::GenerateGeneric(spec), arch);
+}
+
+TEST(TraceTest, CapturesEveryClauseOfEveryWavefront) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program p = SmallProgram(arch);
+  Trace trace;
+  LaunchConfig config;
+  config.domain = Domain{64, 64};  // 64 wavefronts.
+  gpu.Execute(p, config, &trace);
+
+  const std::uint64_t waves = 64 * 64 / arch.wavefront_size;
+  unsigned tex_events = 0, alu_events = 0, write_events = 0;
+  for (const TraceEvent& e : trace.Events()) {
+    EXPECT_LE(e.issue, e.start);
+    EXPECT_LE(e.start, e.complete);
+    EXPECT_LT(e.simd, arch.simd_engines);
+    EXPECT_LT(e.wave, waves);
+    switch (e.type) {
+      case isa::ClauseType::kTex: ++tex_events; break;
+      case isa::ClauseType::kAlu: ++alu_events; break;
+      case isa::ClauseType::kExport: ++write_events; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(tex_events, waves);    // One TEX clause per wavefront.
+  EXPECT_EQ(write_events, waves);  // One export clause per wavefront.
+  // 70 bundles chunked at 32 -> 3 ALU events per wavefront.
+  EXPECT_EQ(alu_events, waves * 3);
+  EXPECT_EQ(trace.DroppedCount(), 0u);
+}
+
+TEST(TraceTest, CapsCapacityAndCountsDrops) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program p = SmallProgram(arch);
+  Trace trace(/*capacity=*/10);
+  LaunchConfig config;
+  config.domain = Domain{64, 64};
+  gpu.Execute(p, config, &trace);
+  EXPECT_EQ(trace.Events().size(), 10u);
+  EXPECT_GT(trace.DroppedCount(), 0u);
+}
+
+TEST(TraceTest, RendersSummaryAndTimeline) {
+  const GpuArch arch = MakeRV870();
+  Gpu gpu(arch);
+  const isa::Program p = SmallProgram(arch);
+  Trace trace;
+  LaunchConfig config;
+  config.domain = Domain{64, 64};
+  gpu.Execute(p, config, &trace);
+
+  const std::string summary = trace.RenderSummary();
+  EXPECT_NE(summary.find("TEX"), std::string::npos);
+  EXPECT_NE(summary.find("ALU"), std::string::npos);
+  EXPECT_NE(summary.find("EXP_DONE"), std::string::npos);
+
+  const std::string timeline = trace.RenderTimeline(5);
+  EXPECT_NE(timeline.find("issue"), std::string::npos);
+  EXPECT_NE(timeline.find("more events"), std::string::npos);
+}
+
+TEST(TraceTest, TracingDoesNotPerturbTiming) {
+  const GpuArch arch = MakeRV770();
+  Gpu gpu(arch);
+  const isa::Program p = SmallProgram(arch);
+  LaunchConfig config;
+  config.domain = Domain{128, 128};
+  Trace trace;
+  const KernelStats with = gpu.Execute(p, config, &trace);
+  const KernelStats without = gpu.Execute(p, config);
+  EXPECT_EQ(with.cycles, without.cycles);
+}
+
+TEST(TraceTest, ClearResets) {
+  Trace trace;
+  trace.Record(TraceEvent{});
+  EXPECT_EQ(trace.Events().size(), 1u);
+  trace.Clear();
+  EXPECT_TRUE(trace.Events().empty());
+  EXPECT_EQ(trace.DroppedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace amdmb::sim
