@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clause_usage.dir/bench_ablation_clause_usage.cpp.o"
+  "CMakeFiles/bench_ablation_clause_usage.dir/bench_ablation_clause_usage.cpp.o.d"
+  "bench_ablation_clause_usage"
+  "bench_ablation_clause_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clause_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_alufetch.dir/bench_fig07_alufetch.cpp.o"
+  "CMakeFiles/bench_fig07_alufetch.dir/bench_fig07_alufetch.cpp.o.d"
+  "bench_fig07_alufetch"
+  "bench_fig07_alufetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_alufetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

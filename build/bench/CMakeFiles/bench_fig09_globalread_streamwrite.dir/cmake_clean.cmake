@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_globalread_streamwrite.dir/bench_fig09_globalread_streamwrite.cpp.o"
+  "CMakeFiles/bench_fig09_globalread_streamwrite.dir/bench_fig09_globalread_streamwrite.cpp.o.d"
+  "bench_fig09_globalread_streamwrite"
+  "bench_fig09_globalread_streamwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_globalread_streamwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

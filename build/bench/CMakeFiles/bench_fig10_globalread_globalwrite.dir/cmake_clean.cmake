@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_globalread_globalwrite.dir/bench_fig10_globalread_globalwrite.cpp.o"
+  "CMakeFiles/bench_fig10_globalread_globalwrite.dir/bench_fig10_globalread_globalwrite.cpp.o.d"
+  "bench_fig10_globalread_globalwrite"
+  "bench_fig10_globalread_globalwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_globalread_globalwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig17_register_usage_4x16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_binomial_pricing.dir/binomial_pricing.cpp.o"
+  "CMakeFiles/example_binomial_pricing.dir/binomial_pricing.cpp.o.d"
+  "example_binomial_pricing"
+  "example_binomial_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_binomial_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matmul_analysis.dir/matmul_analysis.cpp.o"
+  "CMakeFiles/example_matmul_analysis.dir/matmul_analysis.cpp.o.d"
+  "example_matmul_analysis"
+  "example_matmul_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matmul_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_monte_carlo_writes.dir/monte_carlo_writes.cpp.o"
+  "CMakeFiles/example_monte_carlo_writes.dir/monte_carlo_writes.cpp.o.d"
+  "example_monte_carlo_writes"
+  "example_monte_carlo_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_monte_carlo_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_suite_report.dir/suite_report.cpp.o"
+  "CMakeFiles/example_suite_report.dir/suite_report.cpp.o.d"
+  "example_suite_report"
+  "example_suite_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_suite_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

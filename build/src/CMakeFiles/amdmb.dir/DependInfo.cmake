@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/gpu_arch.cpp" "src/CMakeFiles/amdmb.dir/arch/gpu_arch.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/arch/gpu_arch.cpp.o.d"
+  "/root/repo/src/arch/occupancy.cpp" "src/CMakeFiles/amdmb.dir/arch/occupancy.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/arch/occupancy.cpp.o.d"
+  "/root/repo/src/cal/cal.cpp" "src/CMakeFiles/amdmb.dir/cal/cal.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/cal/cal.cpp.o.d"
+  "/root/repo/src/cal/interp.cpp" "src/CMakeFiles/amdmb.dir/cal/interp.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/cal/interp.cpp.o.d"
+  "/root/repo/src/common/gnuplot.cpp" "src/CMakeFiles/amdmb.dir/common/gnuplot.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/common/gnuplot.cpp.o.d"
+  "/root/repo/src/common/series.cpp" "src/CMakeFiles/amdmb.dir/common/series.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/common/series.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/amdmb.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/amdmb.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/amdmb.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/common/table.cpp.o.d"
+  "/root/repo/src/compiler/binary.cpp" "src/CMakeFiles/amdmb.dir/compiler/binary.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/compiler/binary.cpp.o.d"
+  "/root/repo/src/compiler/clause_builder.cpp" "src/CMakeFiles/amdmb.dir/compiler/clause_builder.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/compiler/clause_builder.cpp.o.d"
+  "/root/repo/src/compiler/compiler.cpp" "src/CMakeFiles/amdmb.dir/compiler/compiler.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/compiler/compiler.cpp.o.d"
+  "/root/repo/src/compiler/depgraph.cpp" "src/CMakeFiles/amdmb.dir/compiler/depgraph.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/compiler/depgraph.cpp.o.d"
+  "/root/repo/src/compiler/isa.cpp" "src/CMakeFiles/amdmb.dir/compiler/isa.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/compiler/isa.cpp.o.d"
+  "/root/repo/src/compiler/regalloc.cpp" "src/CMakeFiles/amdmb.dir/compiler/regalloc.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/compiler/regalloc.cpp.o.d"
+  "/root/repo/src/compiler/ska.cpp" "src/CMakeFiles/amdmb.dir/compiler/ska.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/compiler/ska.cpp.o.d"
+  "/root/repo/src/compiler/vliw_packer.cpp" "src/CMakeFiles/amdmb.dir/compiler/vliw_packer.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/compiler/vliw_packer.cpp.o.d"
+  "/root/repo/src/il/builder.cpp" "src/CMakeFiles/amdmb.dir/il/builder.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/il/builder.cpp.o.d"
+  "/root/repo/src/il/il.cpp" "src/CMakeFiles/amdmb.dir/il/il.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/il/il.cpp.o.d"
+  "/root/repo/src/il/parser.cpp" "src/CMakeFiles/amdmb.dir/il/parser.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/il/parser.cpp.o.d"
+  "/root/repo/src/il/printer.cpp" "src/CMakeFiles/amdmb.dir/il/printer.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/il/printer.cpp.o.d"
+  "/root/repo/src/il/verifier.cpp" "src/CMakeFiles/amdmb.dir/il/verifier.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/il/verifier.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/amdmb.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/amdmb.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/texture_unit.cpp" "src/CMakeFiles/amdmb.dir/mem/texture_unit.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/mem/texture_unit.cpp.o.d"
+  "/root/repo/src/mem/tiling.cpp" "src/CMakeFiles/amdmb.dir/mem/tiling.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/mem/tiling.cpp.o.d"
+  "/root/repo/src/sim/dispatch.cpp" "src/CMakeFiles/amdmb.dir/sim/dispatch.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/sim/dispatch.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/CMakeFiles/amdmb.dir/sim/gpu.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/sim/gpu.cpp.o.d"
+  "/root/repo/src/sim/simd_engine.cpp" "src/CMakeFiles/amdmb.dir/sim/simd_engine.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/sim/simd_engine.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/amdmb.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/wavefront.cpp" "src/CMakeFiles/amdmb.dir/sim/wavefront.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/sim/wavefront.cpp.o.d"
+  "/root/repo/src/suite/alu_fetch.cpp" "src/CMakeFiles/amdmb.dir/suite/alu_fetch.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/alu_fetch.cpp.o.d"
+  "/root/repo/src/suite/block_size.cpp" "src/CMakeFiles/amdmb.dir/suite/block_size.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/block_size.cpp.o.d"
+  "/root/repo/src/suite/bottleneck.cpp" "src/CMakeFiles/amdmb.dir/suite/bottleneck.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/bottleneck.cpp.o.d"
+  "/root/repo/src/suite/domain_size.cpp" "src/CMakeFiles/amdmb.dir/suite/domain_size.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/domain_size.cpp.o.d"
+  "/root/repo/src/suite/kernelgen.cpp" "src/CMakeFiles/amdmb.dir/suite/kernelgen.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/kernelgen.cpp.o.d"
+  "/root/repo/src/suite/microbench.cpp" "src/CMakeFiles/amdmb.dir/suite/microbench.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/microbench.cpp.o.d"
+  "/root/repo/src/suite/read_latency.cpp" "src/CMakeFiles/amdmb.dir/suite/read_latency.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/read_latency.cpp.o.d"
+  "/root/repo/src/suite/register_usage.cpp" "src/CMakeFiles/amdmb.dir/suite/register_usage.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/register_usage.cpp.o.d"
+  "/root/repo/src/suite/suite.cpp" "src/CMakeFiles/amdmb.dir/suite/suite.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/suite.cpp.o.d"
+  "/root/repo/src/suite/write_latency.cpp" "src/CMakeFiles/amdmb.dir/suite/write_latency.cpp.o" "gcc" "src/CMakeFiles/amdmb.dir/suite/write_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

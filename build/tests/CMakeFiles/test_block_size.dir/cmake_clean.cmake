@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_size.dir/test_block_size.cpp.o"
+  "CMakeFiles/test_block_size.dir/test_block_size.cpp.o.d"
+  "test_block_size"
+  "test_block_size.pdb"
+  "test_block_size[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

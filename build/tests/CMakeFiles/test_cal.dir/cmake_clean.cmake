@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cal.dir/test_cal.cpp.o"
+  "CMakeFiles/test_cal.dir/test_cal.cpp.o.d"
+  "test_cal"
+  "test_cal.pdb"
+  "test_cal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnuplot.dir/test_gnuplot.cpp.o"
+  "CMakeFiles/test_gnuplot.dir/test_gnuplot.cpp.o.d"
+  "test_gnuplot"
+  "test_gnuplot.pdb"
+  "test_gnuplot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnuplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelgen.dir/test_kernelgen.cpp.o"
+  "CMakeFiles/test_kernelgen.dir/test_kernelgen.cpp.o.d"
+  "test_kernelgen"
+  "test_kernelgen.pdb"
+  "test_kernelgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

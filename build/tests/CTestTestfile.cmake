@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_il[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_regalloc[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_dispatch[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cal[1]_include.cmake")
+include("/root/repo/build/tests/test_kernelgen[1]_include.cmake")
+include("/root/repo/build/tests/test_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_block_size[1]_include.cmake")
+include("/root/repo/build/tests/test_gnuplot[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_random_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_binary[1]_include.cmake")
