@@ -8,12 +8,16 @@
 // from, plus a paper-vs-measured note block consumed by EXPERIMENTS.md.
 //
 // Environment:
-//   AMDMB_QUICK=1   shrink domains/sweeps for smoke runs.
+//   AMDMB_QUICK=1        shrink domains/sweeps for smoke runs.
+//   AMDMB_THREADS=N      sweep-executor width (default: hardware
+//                        concurrency); results are identical at any N.
+//   AMDMB_DUMP_DIR=dir   write gnuplot .dat/.gp per figure.
+//   AMDMB_JSON_DIR=dir   write machine-readable BENCH_<figure>.json
+//                        per figure (curves + sim_seconds summary).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cctype>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "amdmb.hpp"
+#include "common/bench_json.hpp"
 #include "common/gnuplot.hpp"
 
 namespace amdmb::bench {
@@ -58,27 +63,17 @@ class FigureSink {
       const auto script = WriteGnuplot(set_, dir, Slug());
       std::cout << "Gnuplot script: " << script.string() << "\n";
     }
+    if (const char* dir = std::getenv("AMDMB_JSON_DIR");
+        dir != nullptr && dir[0] != '\0' && !set_.All().empty()) {
+      const auto json = WriteBenchJson(set_, id_, claim_, notes_, dir);
+      std::cout << "JSON results: " << json.string() << "\n";
+    }
     std::cout.flush();
   }
 
   /// Filesystem-safe stem derived from the figure id ("Fig. 7 — ..."
-  /// -> "fig_7").
-  std::string Slug() const {
-    std::string slug;
-    for (const char c : id_) {
-      if (static_cast<unsigned char>(c) == 0xE2 || c == '-') {
-        break;  // Stop at the em-dash (UTF-8 lead byte) or hyphen.
-      }
-      if (std::isalnum(static_cast<unsigned char>(c))) {
-        slug.push_back(static_cast<char>(
-            std::tolower(static_cast<unsigned char>(c))));
-      } else if (!slug.empty() && slug.back() != '_') {
-        slug.push_back('_');
-      }
-    }
-    while (!slug.empty() && slug.back() == '_') slug.pop_back();
-    return slug.empty() ? "figure" : slug;
-  }
+  /// -> "fig_7", "Figs. 11-12 — ..." -> "figs_11_12").
+  std::string Slug() const { return FigureSlug(id_); }
 
  private:
   std::string id_;

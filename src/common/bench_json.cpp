@@ -1,0 +1,140 @@
+#include "common/bench_json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace amdmb {
+
+namespace {
+
+/// Shortest round-trippable representation, locale-independent.
+std::string JsonNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double MedianOf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+
+std::string FigureSlug(std::string_view id) {
+  std::string slug;
+  for (const char c : id) {
+    if (static_cast<unsigned char>(c) == 0xE2) {
+      break;  // Em-dash (UTF-8 lead byte) separates the id from the title.
+    }
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? "figure" : slug;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string BenchJson(const SeriesSet& set, const std::string& id,
+                      const std::string& paper_claim,
+                      const std::vector<std::string>& notes) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"figure\": \"" << JsonEscape(id) << "\",\n";
+  os << "  \"title\": \"" << JsonEscape(set.Title()) << "\",\n";
+  os << "  \"paper_claim\": \"" << JsonEscape(paper_claim) << "\",\n";
+  os << "  \"notes\": [";
+  for (std::size_t i = 0; i < notes.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << JsonEscape(notes[i]) << "\"";
+  }
+  os << "],\n";
+  os << "  \"curves\": [\n";
+  const auto& all = set.All();
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    const Series& series = all[s];
+    const std::vector<double> ys = series.Ys();
+    os << "    {\n";
+    os << "      \"name\": \"" << JsonEscape(series.Name()) << "\",\n";
+    os << "      \"points\": [";
+    const auto& points = series.Points();
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (p) os << ", ";
+      os << "{\"x\": " << JsonNumber(points[p].x)
+         << ", \"sim_seconds\": " << JsonNumber(points[p].y) << "}";
+    }
+    os << "],\n";
+    os << "      \"sim_seconds_median\": " << JsonNumber(MedianOf(ys))
+       << ",\n";
+    os << "      \"sim_seconds_min\": "
+       << JsonNumber(ys.empty()
+                         ? 0.0
+                         : *std::min_element(ys.begin(), ys.end()))
+       << ",\n";
+    os << "      \"sim_seconds_max\": "
+       << JsonNumber(ys.empty()
+                         ? 0.0
+                         : *std::max_element(ys.begin(), ys.end()))
+       << "\n";
+    os << "    }" << (s + 1 < all.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::filesystem::path WriteBenchJson(const SeriesSet& set,
+                                     const std::string& id,
+                                     const std::string& paper_claim,
+                                     const std::vector<std::string>& notes,
+                                     const std::filesystem::path& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  Require(!ec,
+          "WriteBenchJson: cannot create directory " + directory.string());
+
+  const std::filesystem::path file =
+      directory / ("BENCH_" + FigureSlug(id) + ".json");
+  std::ofstream out(file);
+  Require(out.good(), "WriteBenchJson: cannot open " + file.string());
+  out << BenchJson(set, id, paper_claim, notes);
+  Require(out.good(), "WriteBenchJson: write failed for " + file.string());
+  return file;
+}
+
+}  // namespace amdmb

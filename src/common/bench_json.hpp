@@ -1,0 +1,42 @@
+// Machine-readable benchmark results.
+//
+// Mirrors the HPC-benchmark report layout referenced in SNIPPETS.md:
+// every figure dumps one JSON document with its metadata, each curve's
+// raw sweep points (x, simulated seconds), and per-curve summary
+// statistics (median / min / max over the sweep). The bench binaries
+// write `BENCH_<figure>.json` when AMDMB_JSON_DIR is set.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/series.hpp"
+
+namespace amdmb {
+
+/// Filesystem-safe stem derived from a figure id. Lower-cases
+/// alphanumerics, collapses every other character run to one underscore,
+/// and stops at the em-dash separating the id from the title — so
+/// "Fig. 7 — ALU:Fetch" -> "fig_7" and multi-part ids keep every number:
+/// "Figs. 11-12 — Read latency" -> "figs_11_12".
+std::string FigureSlug(std::string_view id);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+/// The figure document as JSON text.
+std::string BenchJson(const SeriesSet& set, const std::string& id,
+                      const std::string& paper_claim,
+                      const std::vector<std::string>& notes);
+
+/// Writes `BENCH_<FigureSlug(id)>.json` under `directory` (created if
+/// missing) and returns the file path. Throws ConfigError on I/O
+/// failure.
+std::filesystem::path WriteBenchJson(const SeriesSet& set,
+                                     const std::string& id,
+                                     const std::string& paper_claim,
+                                     const std::vector<std::string>& notes,
+                                     const std::filesystem::path& directory);
+
+}  // namespace amdmb

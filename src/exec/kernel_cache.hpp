@@ -1,0 +1,79 @@
+// Memoized IL -> ISA compilation.
+//
+// Sweeps recompile near-identical kernels hundreds of times: a domain or
+// block-size sweep re-launches one kernel per point, the suite report
+// compiles the same generated kernel once per GPU generation, and tests
+// re-run whole figures. Compilation depends only on the kernel content
+// and the arch-derived CompileOptions, so the cache key is an exact
+// serialization of both — equal keys mean equal programs (no hash
+// collisions can substitute a wrong binary), and archs that share clause
+// limits share compiled programs.
+//
+// Thread-safe: sweep workers hit the cache concurrently. Entries are
+// immutable shared_ptrs, so a cached program stays valid even if evicted
+// while a launch still uses it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "arch/gpu_arch.hpp"
+#include "compiler/compiler.hpp"
+#include "compiler/isa.hpp"
+#include "il/il.hpp"
+
+namespace amdmb::exec {
+
+struct KernelCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  double HitRate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Exact content key: every field of the kernel and the compile options
+/// that can influence the compiled program. Kernel names are excluded —
+/// sweeps name each point differently ("alufetch_r0.25", "_r0.50", ...)
+/// while many of them lower to the same program.
+std::string KernelCacheKey(const il::Kernel& kernel,
+                           const compiler::CompileOptions& opts);
+
+class KernelCache {
+ public:
+  /// Keeps at most `capacity` compiled programs (LRU eviction).
+  explicit KernelCache(std::size_t capacity = 512);
+
+  /// Returns the compiled program for (kernel, OptionsFor(arch)),
+  /// compiling and inserting on miss.
+  std::shared_ptr<const isa::Program> Compile(const il::Kernel& kernel,
+                                              const GpuArch& arch);
+
+  KernelCacheStats Stats() const;
+  std::size_t Size() const;
+  std::size_t Capacity() const { return capacity_; }
+  void Clear();
+
+  /// Process-wide cache shared by every Runner.
+  static KernelCache& Shared();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const isa::Program> program;
+    std::uint64_t last_used = 0;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  KernelCacheStats stats_;
+};
+
+}  // namespace amdmb::exec

@@ -1,0 +1,10 @@
+#include "exec/sweep_executor.hpp"
+
+namespace amdmb::exec {
+
+const SweepExecutor& SweepExecutor::Default() {
+  static SweepExecutor executor;
+  return executor;
+}
+
+}  // namespace amdmb::exec

@@ -1,0 +1,114 @@
+// Parallel sweep execution.
+//
+// Every figure in the paper is a sweep whose points are independent
+// kernel launches (Gpu::Execute builds per-launch cache / controller /
+// SIMD state, so points share nothing). SweepExecutor::Map fans the
+// points out across a ThreadPool and reassembles results in point order,
+// which makes the output bit-identical to the serial path at any thread
+// count: parallelism only changes *when* a point runs, never what it
+// computes or where its result lands.
+//
+// Nested Map calls from inside a pool worker run inline (serially) —
+// a saturated fixed-size pool cannot service tasks submitted by tasks
+// that are themselves blocking on completion.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace amdmb::exec {
+
+class SweepExecutor {
+ public:
+  /// Uses the process-wide SharedPool() (AMDMB_THREADS workers).
+  SweepExecutor() : pool_(&SharedPool()) {}
+
+  /// Owns a private pool of exactly `threads` workers; `threads == 1`
+  /// runs every Map inline with no pool at all (the serial reference
+  /// path used by the determinism tests).
+  explicit SweepExecutor(unsigned threads) {
+    if (threads > 1) {
+      owned_ = std::make_unique<ThreadPool>(threads);
+      pool_ = owned_.get();
+    }
+  }
+
+  unsigned ThreadCount() const {
+    return pool_ == nullptr ? 1 : pool_->ThreadCount();
+  }
+
+  /// The default executor used by the suite layer when a config does not
+  /// supply one.
+  static const SweepExecutor& Default();
+
+  /// Runs `fn(0) .. fn(n-1)`, possibly concurrently, and returns the
+  /// results ordered by index. If any point throws, the exception of the
+  /// *lowest* failing index is rethrown (deterministic regardless of
+  /// scheduling) after every in-flight point has finished.
+  template <typename Fn>
+  auto Map(std::size_t n, Fn&& fn) const {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<R>, "Map requires a result per point");
+    std::vector<std::optional<R>> slots(n);
+    std::vector<std::exception_ptr> errors(n);
+
+    const unsigned width = ThreadCount();
+    if (width <= 1 || n <= 1 || OnPoolThread()) {
+      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+    } else {
+      std::atomic<std::size_t> next{0};
+      const auto worker = [&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            slots[i].emplace(fn(i));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      };
+      // width - 1 pool workers plus the calling thread; the futures keep
+      // every task's stack references alive until Map returns.
+      const std::size_t spawned =
+          std::min<std::size_t>(width - 1, n > 0 ? n - 1 : 0);
+      std::vector<std::future<void>> joined;
+      joined.reserve(spawned);
+      for (std::size_t t = 0; t < spawned; ++t) {
+        auto task = std::make_shared<std::packaged_task<void()>>(worker);
+        joined.push_back(task->get_future());
+        pool_->Submit([task] { (*task)(); });
+      }
+      worker();
+      for (std::future<void>& f : joined) f.get();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (errors[i]) std::rethrow_exception(errors[i]);
+      }
+    }
+
+    std::vector<R> out;
+    out.reserve(n);
+    for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;  ///< nullptr => always inline.
+};
+
+/// `config.executor` resolution used across the suite layer.
+inline const SweepExecutor& ExecutorOrDefault(const SweepExecutor* executor) {
+  return executor != nullptr ? *executor : SweepExecutor::Default();
+}
+
+}  // namespace amdmb::exec

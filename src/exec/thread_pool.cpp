@@ -1,0 +1,75 @@
+#include "exec/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace amdmb::exec {
+
+namespace {
+
+thread_local bool tls_on_pool_thread = false;
+
+}  // namespace
+
+unsigned DefaultThreadCount() {
+  if (const char* v = std::getenv("AMDMB_THREADS");
+      v != nullptr && v[0] != '\0') {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return static_cast<unsigned>(n);
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool OnPoolThread() { return tls_on_pool_thread; }
+
+ThreadPool::ThreadPool(unsigned threads) {
+  Require(threads >= 1, "ThreadPool: needs at least one worker");
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    Check(!stopping_, "ThreadPool::Submit: pool is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_on_pool_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& SharedPool() {
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
+}
+
+}  // namespace amdmb::exec

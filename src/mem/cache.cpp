@@ -13,12 +13,17 @@ TextureCache::TextureCache(const CacheConfig& config) : config_(config) {
   set_count_ = static_cast<unsigned>(lines / config.associativity);
   Require(!config.two_d_index || (set_count_ >= 2 && set_count_ % 2 == 0),
           "TextureCache: 2-D indexing needs an even set count");
+  if ((config.line_bytes & (config.line_bytes - 1)) == 0) {
+    int shift = 0;
+    while ((Bytes{1} << shift) < config.line_bytes) ++shift;
+    line_shift_ = shift;
+  }
   ways_.assign(static_cast<std::size_t>(set_count_) * config.associativity,
                Way{});
 }
 
-unsigned TextureCache::SetIndex(const LineId& line) const {
-  const std::uint64_t line_number = line.address / config_.line_bytes;
+unsigned TextureCache::SetIndex(std::uint64_t line_number,
+                                const LineId& line) const {
   if (!config_.two_d_index) {
     return static_cast<unsigned>(line_number % set_count_);
   }
@@ -31,11 +36,11 @@ unsigned TextureCache::SetIndex(const LineId& line) const {
 }
 
 bool TextureCache::Probe(const LineId& line) {
-  const unsigned set = SetIndex(line);
+  const std::uint64_t tag = LineNumber(line.address);
+  const unsigned set = SetIndex(tag, line);
   Way* begin = &ways_[static_cast<std::size_t>(set) * config_.associativity];
   Way* end = begin + config_.associativity;
   ++tick_;
-  const std::uint64_t tag = line.address / config_.line_bytes;
   Way* victim = begin;
   for (Way* w = begin; w != end; ++w) {
     if (w->tag == tag) {

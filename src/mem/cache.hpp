@@ -31,6 +31,7 @@ struct CacheStats {
     const auto total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
   }
+  bool operator==(const CacheStats&) const = default;
 };
 
 /// LRU set-associative cache over line ids. Probe() inserts on miss and
@@ -48,7 +49,14 @@ class TextureCache {
   unsigned SetCount() const { return set_count_; }
 
  private:
-  unsigned SetIndex(const LineId& line) const;
+  unsigned SetIndex(std::uint64_t line_number, const LineId& line) const;
+  /// address -> line number; a shift when the line size is a power of
+  /// two (it always is on real parts), so the per-probe hot path never
+  /// divides.
+  std::uint64_t LineNumber(std::uint64_t address) const {
+    return line_shift_ >= 0 ? address >> line_shift_
+                            : address / config_.line_bytes;
+  }
 
   struct Way {
     std::uint64_t tag = ~0ull;
@@ -57,6 +65,7 @@ class TextureCache {
 
   CacheConfig config_;
   unsigned set_count_;
+  int line_shift_ = -1;  ///< log2(line_bytes), or -1 if not a power of two.
   std::vector<Way> ways_;  ///< set-major, associativity entries per set.
   std::uint64_t tick_ = 0;
   CacheStats stats_;

@@ -33,6 +33,8 @@ struct DramStats {
   /// Share of busy_cycles spent filling texture-cache lines (the rest is
   /// uncached global reads/writes and streaming stores).
   Cycles fill_busy_cycles = 0;
+
+  bool operator==(const DramStats&) const = default;
 };
 
 class MemoryController {

@@ -21,7 +21,14 @@ std::string_view ToString(Bottleneck b) {
   throw SimError("ToString(Bottleneck): unknown value");
 }
 
-Gpu::Gpu(GpuArch arch) : arch_(std::move(arch)) {}
+Gpu::Gpu(GpuArch arch)
+    : arch_(std::move(arch)),
+      tex_cache_config_(mem::CacheConfig{
+          .size_bytes = arch_.TotalTexCacheBytes(),
+          .line_bytes = arch_.l1.line_bytes,
+          .associativity = arch_.l1.associativity,
+          .two_d_index = arch_.l1.two_d_index,
+      }) {}
 
 namespace {
 
@@ -58,7 +65,7 @@ void ValidateLaunch(const GpuArch& arch, const isa::Program& program,
 }  // namespace
 
 KernelStats Gpu::Execute(const isa::Program& program,
-                         const LaunchConfig& config, Trace* trace) {
+                         const LaunchConfig& config, Trace* trace) const {
   ValidateLaunch(arch_, program, config);
 
   const std::vector<WaveRect> waves =
@@ -69,12 +76,7 @@ KernelStats Gpu::Execute(const isa::Program& program,
   const unsigned occupancy = WavefrontsPerSimd(arch_, program.gpr_count);
   const unsigned simd_count = arch_.simd_engines;
 
-  mem::TextureCache cache(mem::CacheConfig{
-      .size_bytes = arch_.TotalTexCacheBytes(),
-      .line_bytes = arch_.l1.line_bytes,
-      .associativity = arch_.l1.associativity,
-      .two_d_index = arch_.l1.two_d_index,
-  });
+  mem::TextureCache cache(tex_cache_config_);
   mem::MemoryController controller(arch_);
   std::vector<SimdEngine> simds;
   simds.reserve(simd_count);
@@ -83,9 +85,15 @@ KernelStats Gpu::Execute(const isa::Program& program,
   }
 
   // Wavefront w runs on SIMD w % simd_count; each SIMD admits its waves
-  // in order, keeping at most `occupancy` resident.
+  // in order, keeping at most `occupancy` resident. Every wavefront owns
+  // exactly one in-flight event, so the queue never outgrows the
+  // resident set — reserve its backing vector up front.
   std::vector<std::uint32_t> next_batch(simd_count, occupancy);
-  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  std::vector<Event> event_storage;
+  event_storage.reserve(std::min<std::uint64_t>(
+      wave_count, static_cast<std::uint64_t>(simd_count) * occupancy + 1));
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events(
+      EventAfter{}, std::move(event_storage));
   for (unsigned s = 0; s < simd_count; ++s) {
     for (unsigned k = 0; k < occupancy; ++k) {
       const std::uint64_t w =
@@ -98,7 +106,17 @@ KernelStats Gpu::Execute(const isa::Program& program,
     }
   }
 
-  std::vector<std::vector<mem::LineId>> lines_scratch;
+  // Scratch for the texture-line footprints of one TEX clause, sized
+  // once for the widest clause of the program; clear() inside the loop
+  // keeps each inner vector's capacity, so the steady state allocates
+  // nothing per clause.
+  std::size_t max_clause_fetches = 0;
+  for (const isa::Clause& c : program.clauses) {
+    if (c.type == isa::ClauseType::kTex) {
+      max_clause_fetches = std::max(max_clause_fetches, c.fetches.size());
+    }
+  }
+  std::vector<std::vector<mem::LineId>> lines_scratch(max_clause_fetches);
   Cycles t_end = 0;
   Cycles fetch_wait = 0;  // Wavefront time spent inside fetch clauses.
 
@@ -135,9 +153,6 @@ KernelStats Gpu::Execute(const isa::Program& program,
         break;
       }
       case isa::ClauseType::kTex: {
-        if (lines_scratch.size() < clause.fetches.size()) {
-          lines_scratch.resize(clause.fetches.size());
-        }
         for (std::size_t f = 0; f < clause.fetches.size(); ++f) {
           lines_scratch[f].clear();
           layouts.LinesFor(clause.fetches[f].resource, rect,

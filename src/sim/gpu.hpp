@@ -56,6 +56,11 @@ struct KernelStats {
   std::uint64_t wavefront_count = 0;
 
   std::string Render() const;
+
+  /// Exact equality (doubles compared bitwise) — the determinism
+  /// guarantee of the parallel sweep executor is *bit*-identical stats
+  /// at any thread count.
+  bool operator==(const KernelStats&) const = default;
 };
 
 class Gpu {
@@ -66,13 +71,20 @@ class Gpu {
   /// impossible launches (compute mode on RV670, streaming stores in
   /// compute mode, non-wavefront-divisible domains). When `trace` is
   /// non-null every executed clause is recorded into it.
+  ///
+  /// Const and shared-nothing: every piece of launch state (cache,
+  /// memory controller, SIMD engines, event queue) is built locally, so
+  /// concurrent Execute calls on one Gpu are safe — the property the
+  /// parallel sweep executor relies on.
   KernelStats Execute(const isa::Program& program, const LaunchConfig& config,
-                      Trace* trace = nullptr);
+                      Trace* trace = nullptr) const;
 
   const GpuArch& Arch() const { return arch_; }
 
  private:
   GpuArch arch_;
+  /// Derived once at construction instead of per launch.
+  mem::CacheConfig tex_cache_config_;
 };
 
 }  // namespace amdmb::sim

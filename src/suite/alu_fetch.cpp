@@ -6,8 +6,8 @@
 
 namespace amdmb::suite {
 
-AluFetchResult RunAluFetch(Runner& runner, ShaderMode mode, DataType type,
-                           const AluFetchConfig& config) {
+AluFetchResult RunAluFetch(const Runner& runner, ShaderMode mode,
+                           DataType type, const AluFetchConfig& config) {
   Require(config.ratio_step > 0.0 && config.ratio_min > 0.0 &&
               config.ratio_max >= config.ratio_min,
           "AluFetch: invalid ratio sweep");
@@ -23,24 +23,33 @@ AluFetchResult RunAluFetch(Runner& runner, ShaderMode mode, DataType type,
   const WritePath write = mode == ShaderMode::kCompute ? WritePath::kGlobal
                                                        : config.write_path;
 
+  std::vector<double> ratios;
   for (double ratio = config.ratio_min; ratio <= config.ratio_max + 1e-9;
        ratio += config.ratio_step) {
-    GenericSpec spec;
-    spec.inputs = config.inputs;
-    spec.outputs = config.outputs;
-    spec.alu_ops = AluOpsForRatio(ratio, config.inputs);
-    spec.type = type;
-    spec.read_path = config.read_path;
-    spec.write_path = write;
-    spec.name = "alufetch_r" + FormatDouble(ratio, 2);
-    AluFetchPoint point;
-    point.ratio = ratio;
-    point.m = runner.Measure(GenerateGeneric(spec), launch);
-    if (!result.crossover.has_value() &&
-        point.m.stats.bottleneck == sim::Bottleneck::kAlu) {
-      result.crossover = ratio;
+    ratios.push_back(ratio);
+  }
+
+  result.points = exec::ExecutorOrDefault(config.executor)
+                      .Map(ratios.size(), [&](std::size_t i) {
+                        const double ratio = ratios[i];
+                        GenericSpec spec;
+                        spec.inputs = config.inputs;
+                        spec.outputs = config.outputs;
+                        spec.alu_ops = AluOpsForRatio(ratio, config.inputs);
+                        spec.type = type;
+                        spec.read_path = config.read_path;
+                        spec.write_path = write;
+                        spec.name = "alufetch_r" + FormatDouble(ratio, 2);
+                        AluFetchPoint point;
+                        point.ratio = ratio;
+                        point.m = runner.Measure(GenerateGeneric(spec), launch);
+                        return point;
+                      });
+  for (const AluFetchPoint& point : result.points) {
+    if (point.m.stats.bottleneck == sim::Bottleneck::kAlu) {
+      result.crossover = point.ratio;
+      break;
     }
-    result.points.push_back(std::move(point));
   }
   return result;
 }

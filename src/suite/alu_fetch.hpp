@@ -27,6 +27,9 @@ struct AluFetchConfig {
   ReadPath read_path = ReadPath::kTexture;
   WritePath write_path = WritePath::kStream;
   unsigned repetitions = kPaperRepetitions;
+  /// Sweep points run through this executor (null = the process default,
+  /// AMDMB_THREADS workers). Results are bit-identical at any width.
+  const exec::SweepExecutor* executor = nullptr;
 };
 
 struct AluFetchPoint {
@@ -41,8 +44,8 @@ struct AluFetchResult {
   std::optional<double> crossover;
 };
 
-AluFetchResult RunAluFetch(Runner& runner, ShaderMode mode, DataType type,
-                           const AluFetchConfig& config);
+AluFetchResult RunAluFetch(const Runner& runner, ShaderMode mode,
+                           DataType type, const AluFetchConfig& config);
 
 /// Runs the sweep for every curve in `curves` and assembles the figure.
 SeriesSet AluFetchFigure(const std::vector<CurveKey>& curves,

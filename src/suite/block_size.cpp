@@ -18,7 +18,7 @@ std::vector<BlockShape> WavefrontBlockShapes(unsigned wavefront_size) {
   return shapes;
 }
 
-BlockSizeResult RunBlockSizeExplorer(Runner& runner,
+BlockSizeResult RunBlockSizeExplorer(const Runner& runner,
                                      const BlockSizeConfig& config) {
   Require(runner.Arch().supports_compute,
           "block-size explorer requires compute shader mode");
@@ -31,31 +31,41 @@ BlockSizeResult RunBlockSizeExplorer(Runner& runner,
   spec.name = "block_explorer";
   const il::Kernel kernel = GenerateGeneric(spec);
 
-  BlockSizeResult result;
-  double naive_seconds = 0.0;
+  // Every shape must divide the domain.
+  std::vector<BlockShape> shapes;
   for (const BlockShape& block :
        WavefrontBlockShapes(runner.Arch().wavefront_size)) {
-    // Every shape must divide the domain.
-    if (config.domain.width % block.x != 0 ||
-        config.domain.height % block.y != 0) {
-      continue;
+    if (config.domain.width % block.x == 0 &&
+        config.domain.height % block.y == 0) {
+      shapes.push_back(block);
     }
-    sim::LaunchConfig launch;
-    launch.domain = config.domain;
-    launch.mode = ShaderMode::kCompute;
-    launch.block = block;
-    launch.repetitions = config.repetitions;
-    BlockSizePoint point;
-    point.block = block;
-    point.m = runner.Measure(kernel, launch);
-    if (result.points.empty() || point.m.seconds < result.best_seconds) {
-      result.best = block;
-      result.best_seconds = point.m.seconds;
-    }
-    if (block.y == 1) naive_seconds = point.m.seconds;
-    result.points.push_back(std::move(point));
   }
-  Check(!result.points.empty(), "block explorer: no dividing shapes");
+  Check(!shapes.empty(), "block explorer: no dividing shapes");
+
+  BlockSizeResult result;
+  result.points = exec::ExecutorOrDefault(config.executor)
+                      .Map(shapes.size(), [&](std::size_t i) {
+                        sim::LaunchConfig launch;
+                        launch.domain = config.domain;
+                        launch.mode = ShaderMode::kCompute;
+                        launch.block = shapes[i];
+                        launch.repetitions = config.repetitions;
+                        BlockSizePoint point;
+                        point.block = shapes[i];
+                        point.m = runner.Measure(kernel, launch);
+                        return point;
+                      });
+
+  double naive_seconds = 0.0;
+  bool first = true;
+  for (const BlockSizePoint& point : result.points) {
+    if (first || point.m.seconds < result.best_seconds) {
+      result.best = point.block;
+      result.best_seconds = point.m.seconds;
+      first = false;
+    }
+    if (point.block.y == 1) naive_seconds = point.m.seconds;
+  }
   result.naive_penalty =
       naive_seconds > 0.0 ? naive_seconds / result.best_seconds : 1.0;
   return result;

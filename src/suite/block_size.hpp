@@ -23,6 +23,8 @@ struct BlockSizeConfig {
   DataType type = DataType::kFloat4;
   Domain domain{1024, 1024};
   unsigned repetitions = kPaperRepetitions;
+  /// Sweep points run through this executor (null = the process default).
+  const exec::SweepExecutor* executor = nullptr;
 };
 
 struct BlockSizePoint {
@@ -42,7 +44,7 @@ struct BlockSizeResult {
 /// (64x1, 32x2, 16x4, 8x8, 4x16, 2x32, 1x64 for 64-thread wavefronts).
 std::vector<BlockShape> WavefrontBlockShapes(unsigned wavefront_size);
 
-BlockSizeResult RunBlockSizeExplorer(Runner& runner,
+BlockSizeResult RunBlockSizeExplorer(const Runner& runner,
                                      const BlockSizeConfig& config);
 
 /// Figure: one curve per GPU (compute-capable), x = log2(block width).

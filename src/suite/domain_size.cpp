@@ -5,8 +5,8 @@
 
 namespace amdmb::suite {
 
-DomainSizeResult RunDomainSize(Runner& runner, ShaderMode mode, DataType type,
-                               const DomainSizeConfig& config) {
+DomainSizeResult RunDomainSize(const Runner& runner, ShaderMode mode,
+                               DataType type, const DomainSizeConfig& config) {
   Require(config.min_size > 0 && config.max_size >= config.min_size,
           "DomainSize: invalid sweep");
   const unsigned increment = mode == ShaderMode::kPixel
@@ -25,19 +25,25 @@ DomainSizeResult RunDomainSize(Runner& runner, ShaderMode mode, DataType type,
   spec.name = "domain_sweep";
   const il::Kernel kernel = GenerateGeneric(spec);
 
-  DomainSizeResult result;
+  std::vector<unsigned> sizes;
   for (unsigned size = config.min_size; size <= config.max_size;
        size += increment) {
-    sim::LaunchConfig launch;
-    launch.domain = Domain{size, size};
-    launch.mode = mode;
-    launch.block = config.block;
-    launch.repetitions = config.repetitions;
-    DomainSizePoint point;
-    point.size = size;
-    point.m = runner.Measure(kernel, launch);
-    result.points.push_back(std::move(point));
+    sizes.push_back(size);
   }
+
+  DomainSizeResult result;
+  result.points = exec::ExecutorOrDefault(config.executor)
+                      .Map(sizes.size(), [&](std::size_t i) {
+                        sim::LaunchConfig launch;
+                        launch.domain = Domain{sizes[i], sizes[i]};
+                        launch.mode = mode;
+                        launch.block = config.block;
+                        launch.repetitions = config.repetitions;
+                        DomainSizePoint point;
+                        point.size = sizes[i];
+                        point.m = runner.Measure(kernel, launch);
+                        return point;
+                      });
   return result;
 }
 

@@ -23,6 +23,8 @@ struct DomainSizeConfig {
   double alu_fetch_ratio = 10.0;
   BlockShape block{64, 1};
   unsigned repetitions = kPaperRepetitions;
+  /// Sweep points run through this executor (null = the process default).
+  const exec::SweepExecutor* executor = nullptr;
 };
 
 struct DomainSizePoint {
@@ -34,8 +36,8 @@ struct DomainSizeResult {
   std::vector<DomainSizePoint> points;
 };
 
-DomainSizeResult RunDomainSize(Runner& runner, ShaderMode mode, DataType type,
-                               const DomainSizeConfig& config);
+DomainSizeResult RunDomainSize(const Runner& runner, ShaderMode mode,
+                               DataType type, const DomainSizeConfig& config);
 
 /// Fig. 15a/b layout: one curve per GPU for the given mode.
 SeriesSet DomainSizeFigure(ShaderMode mode, DataType type,

@@ -4,14 +4,19 @@
 
 namespace amdmb::suite {
 
-Runner::Runner(const GpuArch& arch) : gpu_(arch) {}
+Runner::Runner(const GpuArch& arch, exec::KernelCache* cache)
+    : gpu_(arch), cache_(cache) {}
 
 Measurement Runner::Measure(const il::Kernel& kernel,
-                            const sim::LaunchConfig& config) {
-  const isa::Program program = compiler::Compile(kernel, gpu_.Arch());
+                            const sim::LaunchConfig& config) const {
+  const std::shared_ptr<const isa::Program> program =
+      cache_ != nullptr
+          ? cache_->Compile(kernel, gpu_.Arch())
+          : std::make_shared<const isa::Program>(
+                compiler::Compile(kernel, gpu_.Arch()));
   Measurement m;
-  m.ska = compiler::Analyze(program, gpu_.Arch());
-  m.stats = gpu_.Execute(program, config);
+  m.ska = compiler::Analyze(*program, gpu_.Arch());
+  m.stats = gpu_.Execute(*program, config);
   m.seconds = m.stats.seconds;
   return m;
 }

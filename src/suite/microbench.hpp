@@ -8,6 +8,8 @@
 
 #include "arch/gpu_arch.hpp"
 #include "compiler/ska.hpp"
+#include "exec/kernel_cache.hpp"
+#include "exec/sweep_executor.hpp"
 #include "il/il.hpp"
 #include "sim/gpu.hpp"
 
@@ -21,17 +23,25 @@ struct Measurement {
 };
 
 /// Compiles and runs kernels on one GPU.
+///
+/// Const-safe: Measure builds all launch state locally and the kernel
+/// cache is internally synchronized, so one Runner may serve every
+/// worker of a parallel sweep concurrently.
 class Runner {
  public:
-  explicit Runner(const GpuArch& arch);
+  /// Compilations go through `cache` (the process-wide shared cache by
+  /// default), so sweeps that re-launch the same kernel compile it once.
+  explicit Runner(const GpuArch& arch,
+                  exec::KernelCache* cache = &exec::KernelCache::Shared());
 
   Measurement Measure(const il::Kernel& kernel,
-                      const sim::LaunchConfig& config);
+                      const sim::LaunchConfig& config) const;
 
   const GpuArch& Arch() const { return gpu_.Arch(); }
 
  private:
   sim::Gpu gpu_;
+  exec::KernelCache* cache_;
 };
 
 /// One curve of a paper figure: a GPU generation in a shader mode with a

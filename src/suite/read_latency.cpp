@@ -5,7 +5,7 @@
 
 namespace amdmb::suite {
 
-ReadLatencyResult RunReadLatency(Runner& runner, ShaderMode mode,
+ReadLatencyResult RunReadLatency(const Runner& runner, ShaderMode mode,
                                  DataType type,
                                  const ReadLatencyConfig& config) {
   Require(config.min_inputs >= 2 && config.max_inputs >= config.min_inputs,
@@ -20,26 +20,32 @@ ReadLatencyResult RunReadLatency(Runner& runner, ShaderMode mode,
   const WritePath write =
       mode == ShaderMode::kCompute ? WritePath::kGlobal : WritePath::kStream;
 
+  const std::size_t count = config.max_inputs - config.min_inputs + 1;
+  result.points = exec::ExecutorOrDefault(config.executor)
+                      .Map(count, [&](std::size_t i) {
+                        const unsigned inputs =
+                            config.min_inputs + static_cast<unsigned>(i);
+                        GenericSpec spec;
+                        spec.inputs = inputs;
+                        spec.outputs = 1;
+                        // Sec. III-B: ALU ops fixed to inputs - 1 so the
+                        // fetch stays the bottleneck.
+                        spec.alu_ops = inputs - 1;
+                        spec.type = type;
+                        spec.read_path = config.read_path;
+                        spec.write_path = write;
+                        spec.name = "readlat_in" + std::to_string(inputs);
+                        ReadLatencyPoint point;
+                        point.inputs = inputs;
+                        point.m = runner.Measure(GenerateGeneric(spec), launch);
+                        return point;
+                      });
+
   std::vector<double> xs;
   std::vector<double> ys;
-  for (unsigned inputs = config.min_inputs; inputs <= config.max_inputs;
-       ++inputs) {
-    GenericSpec spec;
-    spec.inputs = inputs;
-    spec.outputs = 1;
-    // Sec. III-B: ALU ops fixed to inputs - 1 so the fetch stays the
-    // bottleneck.
-    spec.alu_ops = inputs - 1;
-    spec.type = type;
-    spec.read_path = config.read_path;
-    spec.write_path = write;
-    spec.name = "readlat_in" + std::to_string(inputs);
-    ReadLatencyPoint point;
-    point.inputs = inputs;
-    point.m = runner.Measure(GenerateGeneric(spec), launch);
-    xs.push_back(inputs);
+  for (const ReadLatencyPoint& point : result.points) {
+    xs.push_back(point.inputs);
     ys.push_back(point.m.seconds);
-    result.points.push_back(std::move(point));
   }
   result.fit = FitLine(xs, ys);
   return result;

@@ -21,6 +21,8 @@ struct ReadLatencyConfig {
   BlockShape block{64, 1};
   ReadPath read_path = ReadPath::kTexture;  ///< kGlobal for Fig. 12.
   unsigned repetitions = kPaperRepetitions;
+  /// Sweep points run through this executor (null = the process default).
+  const exec::SweepExecutor* executor = nullptr;
 };
 
 struct ReadLatencyPoint {
@@ -33,7 +35,7 @@ struct ReadLatencyResult {
   LineFit fit;  ///< seconds vs inputs.
 };
 
-ReadLatencyResult RunReadLatency(Runner& runner, ShaderMode mode,
+ReadLatencyResult RunReadLatency(const Runner& runner, ShaderMode mode,
                                  DataType type,
                                  const ReadLatencyConfig& config);
 

@@ -4,7 +4,7 @@
 
 namespace amdmb::suite {
 
-RegisterUsageResult RunRegisterUsage(Runner& runner, ShaderMode mode,
+RegisterUsageResult RunRegisterUsage(const Runner& runner, ShaderMode mode,
                                      DataType type,
                                      const RegisterUsageConfig& config) {
   Require(config.max_step >= config.min_step,
@@ -17,26 +17,29 @@ RegisterUsageResult RunRegisterUsage(Runner& runner, ShaderMode mode,
   launch.block = config.block;
   launch.repetitions = config.repetitions;
 
-  for (unsigned step = config.min_step; step <= config.max_step; ++step) {
-    RegisterUsageSpec spec;
-    spec.inputs = config.inputs;
-    spec.space = config.space;
-    spec.step = step;
-    spec.alu_fetch_ratio = config.alu_fetch_ratio;
-    spec.type = type;
-    spec.read_path = ReadPath::kTexture;
-    spec.write_path =
-        mode == ShaderMode::kCompute ? WritePath::kGlobal : WritePath::kStream;
-    spec.name = "regusage_s" + std::to_string(step);
-    const il::Kernel kernel = config.clause_control
-                                  ? GenerateClauseUsage(spec)
-                                  : GenerateRegisterUsage(spec);
-    RegisterUsagePoint point;
-    point.step = step;
-    point.m = runner.Measure(kernel, launch);
-    point.gpr_count = point.m.stats.gpr_count;
-    result.points.push_back(std::move(point));
-  }
+  const std::size_t count = config.max_step - config.min_step + 1;
+  result.points =
+      exec::ExecutorOrDefault(config.executor).Map(count, [&](std::size_t i) {
+        const unsigned step = config.min_step + static_cast<unsigned>(i);
+        RegisterUsageSpec spec;
+        spec.inputs = config.inputs;
+        spec.space = config.space;
+        spec.step = step;
+        spec.alu_fetch_ratio = config.alu_fetch_ratio;
+        spec.type = type;
+        spec.read_path = ReadPath::kTexture;
+        spec.write_path = mode == ShaderMode::kCompute ? WritePath::kGlobal
+                                                       : WritePath::kStream;
+        spec.name = "regusage_s" + std::to_string(step);
+        const il::Kernel kernel = config.clause_control
+                                      ? GenerateClauseUsage(spec)
+                                      : GenerateRegisterUsage(spec);
+        RegisterUsagePoint point;
+        point.step = step;
+        point.m = runner.Measure(kernel, launch);
+        point.gpr_count = point.m.stats.gpr_count;
+        return point;
+      });
   return result;
 }
 

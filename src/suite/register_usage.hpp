@@ -30,6 +30,8 @@ struct RegisterUsageConfig {
   BlockShape block{64, 1};
   unsigned repetitions = kPaperRepetitions;
   bool clause_control = false;  ///< true -> the Fig. 5 control kernel.
+  /// Sweep points run through this executor (null = the process default).
+  const exec::SweepExecutor* executor = nullptr;
 };
 
 struct RegisterUsagePoint {
@@ -42,7 +44,7 @@ struct RegisterUsageResult {
   std::vector<RegisterUsagePoint> points;
 };
 
-RegisterUsageResult RunRegisterUsage(Runner& runner, ShaderMode mode,
+RegisterUsageResult RunRegisterUsage(const Runner& runner, ShaderMode mode,
                                      DataType type,
                                      const RegisterUsageConfig& config);
 

@@ -1,8 +1,10 @@
 #include "suite/suite.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/table.hpp"
+#include "exec/sweep_executor.hpp"
 
 namespace amdmb::suite {
 
@@ -21,6 +23,10 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
   const Domain domain =
       options.quick ? Domain{256, 256} : Domain{1024, 1024};
   const unsigned reps = kPaperRepetitions;
+  // Curves fan out across the worker pool; each curve's own point sweep
+  // then runs inline on its worker (nested sweeps execute serially), so
+  // the report is bit-identical at any thread count.
+  const exec::SweepExecutor& executor = exec::SweepExecutor::Default();
 
   os << RenderHardwareTable() << "\n";
 
@@ -32,15 +38,20 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
     config.domain = domain;
     config.repetitions = reps;
     if (options.quick) config.ratio_step = 1.0;
-    for (const CurveKey& key : PaperCurves(true, true, archs)) {
-      Runner runner(key.arch);
-      const AluFetchResult r =
-          RunAluFetch(runner, key.mode, key.type, config);
-      table.AddRow({key.Name(),
-                    r.crossover ? FormatDouble(*r.crossover, 2) : ">sweep",
-                    FormatDouble(r.points.front().m.seconds, 2),
-                    FormatDouble(r.points.back().m.seconds, 2)});
-    }
+    const std::vector<CurveKey> curves = PaperCurves(true, true, archs);
+    const auto rows =
+        executor.Map(curves.size(), [&](std::size_t i) {
+          const CurveKey& key = curves[i];
+          const Runner runner(key.arch);
+          const AluFetchResult r =
+              RunAluFetch(runner, key.mode, key.type, config);
+          return std::vector<std::string>{
+              key.Name(),
+              r.crossover ? FormatDouble(*r.crossover, 2) : ">sweep",
+              FormatDouble(r.points.front().m.seconds, 2),
+              FormatDouble(r.points.back().m.seconds, 2)};
+        });
+    for (const std::vector<std::string>& row : rows) table.AddRow(row);
     os << "ALU:Fetch ratio micro-benchmark (paper Fig. 7)\n"
        << "Paper claim: float crosses to ALU-bound far earlier than float4; "
           "compute 64x1 crosses later than pixel mode.\n"
@@ -56,14 +67,18 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
       config.repetitions = reps;
       config.read_path = path;
       if (options.quick) config.max_inputs = 8;
-      for (const CurveKey& key : PaperCurves(true, true, archs)) {
-        Runner runner(key.arch);
-        const ReadLatencyResult r =
-            RunReadLatency(runner, key.mode, key.type, config);
-        table.AddRow({key.Name(), std::string(ToString(path)),
-                      FormatDouble(r.fit.slope, 3),
-                      FormatDouble(r.fit.r2, 3)});
-      }
+      const std::vector<CurveKey> curves = PaperCurves(true, true, archs);
+      const auto rows =
+          executor.Map(curves.size(), [&](std::size_t i) {
+            const CurveKey& key = curves[i];
+            const Runner runner(key.arch);
+            const ReadLatencyResult r =
+                RunReadLatency(runner, key.mode, key.type, config);
+            return std::vector<std::string>{
+                key.Name(), std::string(ToString(path)),
+                FormatDouble(r.fit.slope, 3), FormatDouble(r.fit.r2, 3)};
+          });
+      for (const std::vector<std::string>& row : rows) table.AddRow(row);
     }
     os << "Read latency micro-benchmarks (paper Figs. 11-12)\n"
        << "Paper claim: latency is linear in the input count; float4 "
@@ -80,19 +95,26 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
       config.domain = domain;
       config.repetitions = reps;
       config.write_path = path;
+      std::vector<CurveKey> curves;
       for (const CurveKey& key : PaperCurves(
                /*include_pixel=*/true,
                /*include_compute=*/path == WritePath::kGlobal, archs)) {
         if (path == WritePath::kStream && key.mode == ShaderMode::kCompute) {
           continue;  // Compute mode has no color buffers (Sec. IV-C).
         }
-        Runner runner(key.arch);
-        const WriteLatencyResult r =
-            RunWriteLatency(runner, key.mode, key.type, config);
-        table.AddRow({key.Name(), std::string(ToString(path)),
-                      FormatDouble(r.fit.slope, 3),
-                      FormatDouble(r.fit.r2, 3)});
+        curves.push_back(key);
       }
+      const auto rows =
+          executor.Map(curves.size(), [&](std::size_t i) {
+            const CurveKey& key = curves[i];
+            const Runner runner(key.arch);
+            const WriteLatencyResult r =
+                RunWriteLatency(runner, key.mode, key.type, config);
+            return std::vector<std::string>{
+                key.Name(), std::string(ToString(path)),
+                FormatDouble(r.fit.slope, 3), FormatDouble(r.fit.r2, 3)};
+          });
+      for (const std::vector<std::string>& row : rows) table.AddRow(row);
     }
     os << "Write latency micro-benchmarks (paper Figs. 13-14)\n"
        << "Paper claim: linear in the output count; global writes move "
@@ -108,30 +130,35 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
     RegisterUsageConfig config;
     config.repetitions = reps;
     if (options.quick) config.domain = Domain{256, 256};
-    for (const CurveKey& key : PaperCurves(true, true, archs)) {
-      Runner runner(key.arch);
-      const RegisterUsageResult sweep =
-          RunRegisterUsage(runner, key.mode, key.type, config);
-      RegisterUsageConfig control_config = config;
-      control_config.clause_control = true;
-      control_config.min_step = 0;
-      control_config.max_step = config.max_step;
-      const RegisterUsageResult control =
-          RunRegisterUsage(runner, key.mode, key.type, control_config);
-      double cmin = control.points.front().m.seconds;
-      double cmax = cmin;
-      for (const RegisterUsagePoint& p : control.points) {
-        cmin = std::min(cmin, p.m.seconds);
-        cmax = std::max(cmax, p.m.seconds);
-      }
-      const bool flat = (cmax - cmin) / cmax < 0.2;
-      table.AddRow({key.Name(),
-                    std::to_string(sweep.points.front().gpr_count),
-                    FormatDouble(sweep.points.front().m.seconds, 2),
-                    std::to_string(sweep.points.back().gpr_count),
-                    FormatDouble(sweep.points.back().m.seconds, 2),
-                    flat ? "yes" : "NO"});
-    }
+    const std::vector<CurveKey> curves = PaperCurves(true, true, archs);
+    const auto rows =
+        executor.Map(curves.size(), [&](std::size_t i) {
+          const CurveKey& key = curves[i];
+          const Runner runner(key.arch);
+          const RegisterUsageResult sweep =
+              RunRegisterUsage(runner, key.mode, key.type, config);
+          RegisterUsageConfig control_config = config;
+          control_config.clause_control = true;
+          control_config.min_step = 0;
+          control_config.max_step = config.max_step;
+          const RegisterUsageResult control =
+              RunRegisterUsage(runner, key.mode, key.type, control_config);
+          double cmin = control.points.front().m.seconds;
+          double cmax = cmin;
+          for (const RegisterUsagePoint& p : control.points) {
+            cmin = std::min(cmin, p.m.seconds);
+            cmax = std::max(cmax, p.m.seconds);
+          }
+          const bool flat = (cmax - cmin) / cmax < 0.2;
+          return std::vector<std::string>{
+              key.Name(),
+              std::to_string(sweep.points.front().gpr_count),
+              FormatDouble(sweep.points.front().m.seconds, 2),
+              std::to_string(sweep.points.back().gpr_count),
+              FormatDouble(sweep.points.back().m.seconds, 2),
+              flat ? "yes" : "NO"};
+        });
+    for (const std::vector<std::string>& row : rows) table.AddRow(row);
     os << "Register usage micro-benchmark (paper Fig. 16 + Fig. 5 control)\n"
        << "Paper claim: lowering register pressure raises occupancy and "
           "cuts runtime until the kernel goes ALU-bound; the clause-usage "

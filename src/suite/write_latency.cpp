@@ -5,7 +5,7 @@
 
 namespace amdmb::suite {
 
-WriteLatencyResult RunWriteLatency(Runner& runner, ShaderMode mode,
+WriteLatencyResult RunWriteLatency(const Runner& runner, ShaderMode mode,
                                    DataType type,
                                    const WriteLatencyConfig& config) {
   Require(config.min_outputs >= 1 &&
@@ -24,24 +24,30 @@ WriteLatencyResult RunWriteLatency(Runner& runner, ShaderMode mode,
   const WritePath write =
       mode == ShaderMode::kCompute ? WritePath::kGlobal : config.write_path;
 
+  const std::size_t count = config.max_outputs - config.min_outputs + 1;
+  result.points = exec::ExecutorOrDefault(config.executor)
+                      .Map(count, [&](std::size_t i) {
+                        const unsigned outputs =
+                            config.min_outputs + static_cast<unsigned>(i);
+                        GenericSpec spec;
+                        spec.inputs = config.inputs;
+                        spec.outputs = outputs;
+                        spec.alu_ops = config.alu_ops;
+                        spec.type = type;
+                        spec.read_path = ReadPath::kTexture;
+                        spec.write_path = write;
+                        spec.name = "writelat_out" + std::to_string(outputs);
+                        WriteLatencyPoint point;
+                        point.outputs = outputs;
+                        point.m = runner.Measure(GenerateGeneric(spec), launch);
+                        return point;
+                      });
+
   std::vector<double> xs;
   std::vector<double> ys;
-  for (unsigned outputs = config.min_outputs; outputs <= config.max_outputs;
-       ++outputs) {
-    GenericSpec spec;
-    spec.inputs = config.inputs;
-    spec.outputs = outputs;
-    spec.alu_ops = config.alu_ops;
-    spec.type = type;
-    spec.read_path = ReadPath::kTexture;
-    spec.write_path = write;
-    spec.name = "writelat_out" + std::to_string(outputs);
-    WriteLatencyPoint point;
-    point.outputs = outputs;
-    point.m = runner.Measure(GenerateGeneric(spec), launch);
-    xs.push_back(outputs);
+  for (const WriteLatencyPoint& point : result.points) {
+    xs.push_back(point.outputs);
     ys.push_back(point.m.seconds);
-    result.points.push_back(std::move(point));
   }
   result.fit = FitLine(xs, ys);
   return result;

@@ -25,6 +25,8 @@ struct WriteLatencyConfig {
   BlockShape block{64, 1};
   WritePath write_path = WritePath::kStream;  ///< kGlobal for Fig. 14.
   unsigned repetitions = kPaperRepetitions;
+  /// Sweep points run through this executor (null = the process default).
+  const exec::SweepExecutor* executor = nullptr;
 };
 
 struct WriteLatencyPoint {
@@ -37,7 +39,7 @@ struct WriteLatencyResult {
   LineFit fit;  ///< seconds vs outputs.
 };
 
-WriteLatencyResult RunWriteLatency(Runner& runner, ShaderMode mode,
+WriteLatencyResult RunWriteLatency(const Runner& runner, ShaderMode mode,
                                    DataType type,
                                    const WriteLatencyConfig& config);
 

@@ -1,0 +1,82 @@
+// Tests for the machine-readable results writer and the figure-id slug.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/bench_json.hpp"
+#include "common/series.hpp"
+
+namespace amdmb {
+namespace {
+
+TEST(FigureSlugTest, StopsAtEmDashOnly) {
+  EXPECT_EQ(FigureSlug("Fig. 7 — ALU:Fetch Ratio"), "fig_7");
+  EXPECT_EQ(FigureSlug("Table I — Hardware"), "table_i");
+}
+
+TEST(FigureSlugTest, KeepsEveryNumberOfMultiPartIds) {
+  // The old slug truncated at the first hyphen, collapsing
+  // "Figs. 11-12" to "figs_11".
+  EXPECT_EQ(FigureSlug("Figs. 11-12 — Read latency"), "figs_11_12");
+  EXPECT_EQ(FigureSlug("Figs. 16-17"), "figs_16_17");
+}
+
+TEST(FigureSlugTest, EmptyAndSymbolIdsFallBack) {
+  EXPECT_EQ(FigureSlug(""), "figure");
+  EXPECT_EQ(FigureSlug("—"), "figure");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+SeriesSet TwoCurveFigure() {
+  SeriesSet set("ALU:Fetch", "ratio", "seconds");
+  Series& a = set.Get("4870 Pixel Float");
+  a.Add(0.25, 3.0);
+  a.Add(0.50, 1.0);
+  a.Add(1.00, 2.0);
+  Series& b = set.Get("4870 Pixel Float4");
+  b.Add(0.25, 5.0);
+  b.Add(0.50, 7.0);
+  return set;
+}
+
+TEST(BenchJsonTest, EmitsCurvesWithSummaryStats) {
+  const std::string json =
+      BenchJson(TwoCurveFigure(), "Fig. 7 — ALU:Fetch", "claim", {"note1"});
+  EXPECT_NE(json.find("\"figure\": \"Fig. 7 — ALU:Fetch\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"4870 Pixel Float\""), std::string::npos);
+  EXPECT_NE(json.find("{\"x\": 0.25, \"sim_seconds\": 3}"),
+            std::string::npos);
+  // Median of {3, 1, 2} is 2; min 1; max 3.
+  EXPECT_NE(json.find("\"sim_seconds_median\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_seconds_min\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_seconds_max\": 3"), std::string::npos);
+  // Even-count median of {5, 7} is 6.
+  EXPECT_NE(json.find("\"sim_seconds_median\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"notes\": [\"note1\"]"), std::string::npos);
+}
+
+TEST(BenchJsonTest, WritesBenchFileNamedAfterSlug) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "amdmb_json_test";
+  std::filesystem::remove_all(dir);
+  const std::filesystem::path file = WriteBenchJson(
+      TwoCurveFigure(), "Figs. 11-12 — Read latency", "claim", {}, dir);
+  EXPECT_EQ(file.filename().string(), "BENCH_figs_11_12.json");
+  std::ifstream in(file);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"curves\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace amdmb

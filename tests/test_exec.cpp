@@ -1,0 +1,241 @@
+// Tests for the execution layer: thread pool, sweep executor, kernel
+// cache, and the end-to-end determinism guarantee (a full ALU:Fetch
+// sweep produces bit-identical KernelStats at 1 and 8 threads).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/kernel_cache.hpp"
+#include "exec/sweep_executor.hpp"
+#include "exec/thread_pool.hpp"
+#include "suite/alu_fetch.hpp"
+#include "suite/kernelgen.hpp"
+
+namespace amdmb {
+namespace {
+
+using exec::KernelCache;
+using exec::SweepExecutor;
+using exec::ThreadPool;
+
+// ---- ThreadPool --------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownWithEmptyQueueJoinsCleanly) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.ThreadCount(), 3u);
+  // Destructor with nothing queued must not hang.
+}
+
+TEST(ThreadPoolTest, WorkersRunOnPoolThreads) {
+  std::atomic<bool> on_pool{false};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&on_pool] { on_pool = exec::OnPoolThread(); });
+  }
+  EXPECT_TRUE(on_pool.load());
+  EXPECT_FALSE(exec::OnPoolThread());
+}
+
+// ---- SweepExecutor -----------------------------------------------------
+
+TEST(SweepExecutorTest, MapPreservesPointOrder) {
+  const SweepExecutor executor(8);
+  const std::vector<int> out =
+      executor.Map(100, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(SweepExecutorTest, SingleThreadRunsInline) {
+  const SweepExecutor executor(1);
+  EXPECT_EQ(executor.ThreadCount(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  const auto ids = executor.Map(
+      8, [caller](std::size_t) { return std::this_thread::get_id(); });
+  for (const std::thread::id& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(SweepExecutorTest, ParallelMapUsesMultipleThreads) {
+  const SweepExecutor executor(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  executor.Map(64, [&](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::lock_guard lock(mutex);
+    seen.insert(std::this_thread::get_id());
+    return i;
+  });
+  // The calling thread participates; with 64 slow points at least one
+  // pool worker must have claimed an index too.
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(SweepExecutorTest, RethrowsLowestFailingIndex) {
+  const SweepExecutor executor(8);
+  try {
+    executor.Map(50, [](std::size_t i) -> int {
+      if (i % 7 == 3) {  // Fails at 3, 10, 17, ... lowest is 3.
+        throw std::runtime_error("point " + std::to_string(i));
+      }
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "point 3");
+  }
+}
+
+TEST(SweepExecutorTest, NestedMapRunsInlineWithoutDeadlock) {
+  const SweepExecutor executor(2);
+  const auto out = executor.Map(4, [&](std::size_t outer) {
+    const auto inner =
+        executor.Map(4, [outer](std::size_t i) { return outer * 10 + i; });
+    std::size_t sum = 0;
+    for (const std::size_t v : inner) sum += v;
+    return sum;
+  });
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t outer = 0; outer < 4; ++outer) {
+    EXPECT_EQ(out[outer], outer * 40 + 6);
+  }
+}
+
+// ---- KernelCache -------------------------------------------------------
+
+suite::GenericSpec SpecWithAluOps(unsigned alu_ops) {
+  suite::GenericSpec spec;
+  spec.inputs = 4;
+  spec.alu_ops = alu_ops;
+  return spec;
+}
+
+TEST(KernelCacheTest, HitOnIdenticalKernel) {
+  KernelCache cache;
+  const GpuArch arch = MakeRV770();
+  const il::Kernel kernel = suite::GenerateGeneric(SpecWithAluOps(16));
+  const auto first = cache.Compile(kernel, arch);
+  const auto second = cache.Compile(kernel, arch);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.Stats().misses, 1u);
+  EXPECT_EQ(cache.Stats().hits, 1u);
+}
+
+TEST(KernelCacheTest, NameDoesNotAffectTheKey) {
+  KernelCache cache;
+  const GpuArch arch = MakeRV770();
+  il::Kernel a = suite::GenerateGeneric(SpecWithAluOps(16));
+  il::Kernel b = a;
+  b.name = "same_content_other_name";
+  cache.Compile(a, arch);
+  cache.Compile(b, arch);
+  EXPECT_EQ(cache.Stats().hits, 1u);
+}
+
+TEST(KernelCacheTest, DifferentKernelsMiss) {
+  KernelCache cache;
+  const GpuArch arch = MakeRV770();
+  cache.Compile(suite::GenerateGeneric(SpecWithAluOps(16)), arch);
+  cache.Compile(suite::GenerateGeneric(SpecWithAluOps(32)), arch);
+  EXPECT_EQ(cache.Stats().misses, 2u);
+  EXPECT_EQ(cache.Stats().hits, 0u);
+}
+
+TEST(KernelCacheTest, ArchsSharingCompileOptionsShareEntries) {
+  // RV770 and RV870 have identical clause limits and VLIW shape, so the
+  // compiled program is the same; RV670 too — only the *simulation*
+  // differs between generations.
+  KernelCache cache;
+  const il::Kernel kernel = suite::GenerateGeneric(SpecWithAluOps(16));
+  cache.Compile(kernel, MakeRV770());
+  const auto stats_after_one = cache.Stats();
+  cache.Compile(kernel, MakeRV870());
+  EXPECT_EQ(cache.Stats().misses + cache.Stats().hits,
+            stats_after_one.misses + stats_after_one.hits + 1);
+}
+
+TEST(KernelCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  KernelCache cache(/*capacity=*/2);
+  const GpuArch arch = MakeRV770();
+  const il::Kernel k1 = suite::GenerateGeneric(SpecWithAluOps(8));
+  const il::Kernel k2 = suite::GenerateGeneric(SpecWithAluOps(16));
+  const il::Kernel k3 = suite::GenerateGeneric(SpecWithAluOps(24));
+  cache.Compile(k1, arch);
+  cache.Compile(k2, arch);
+  cache.Compile(k1, arch);  // k1 now more recent than k2.
+  cache.Compile(k3, arch);  // Evicts k2.
+  EXPECT_EQ(cache.Size(), 2u);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  cache.Compile(k1, arch);  // Still cached.
+  EXPECT_EQ(cache.Stats().hits, 2u);
+  cache.Compile(k2, arch);  // Was evicted -> recompiles.
+  EXPECT_EQ(cache.Stats().misses, 4u);
+}
+
+TEST(KernelCacheTest, ThreadSafeUnderConcurrentMisses) {
+  KernelCache cache;
+  const GpuArch arch = MakeRV770();
+  const SweepExecutor executor(8);
+  const auto programs = executor.Map(32, [&](std::size_t i) {
+    return cache.Compile(
+        suite::GenerateGeneric(SpecWithAluOps(8 + (i % 4) * 8)), arch);
+  });
+  for (const auto& p : programs) EXPECT_NE(p, nullptr);
+  EXPECT_EQ(cache.Size(), 4u);
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, 32u);
+  // Racing misses on one key may compile twice, but never more often
+  // than once per worker.
+  EXPECT_LE(stats.misses, 4u * 8u);
+}
+
+// ---- End-to-end determinism -------------------------------------------
+
+TEST(ExecDeterminismTest, AluFetchSweepBitIdenticalAcrossThreadCounts) {
+  const GpuArch arch = MakeRV770();
+  suite::AluFetchConfig config;
+  config.domain = Domain{256, 256};  // Full ratio sweep, small domain.
+
+  const SweepExecutor serial(1);
+  const SweepExecutor wide(8);
+
+  suite::AluFetchConfig serial_config = config;
+  serial_config.executor = &serial;
+  suite::AluFetchConfig wide_config = config;
+  wide_config.executor = &wide;
+
+  const suite::Runner runner(arch);
+  const suite::AluFetchResult a = RunAluFetch(
+      runner, ShaderMode::kPixel, DataType::kFloat, serial_config);
+  const suite::AluFetchResult b = RunAluFetch(
+      runner, ShaderMode::kPixel, DataType::kFloat, wide_config);
+
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.crossover, b.crossover);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].ratio, b.points[i].ratio);
+    EXPECT_EQ(a.points[i].m.stats, b.points[i].m.stats)
+        << "KernelStats diverge at point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace amdmb
