@@ -41,13 +41,24 @@ void Register() {
           RunReadLatency(r_off, ShaderMode::kCompute, type, Config());
       Series& s1 = g_sink.Set().Get("4870 64x1 " + type_name + " 2D-index");
       Series& s2 = g_sink.Set().Get("4870 64x1 " + type_name + " flat-index");
+      bench::NoteFaults(g_sink, "4870 " + type_name + " 2D-index",
+                        with_2d.report);
+      bench::NoteFaults(g_sink, "4870 " + type_name + " flat-index",
+                        without_2d.report);
       double max_gap = 0;
-      for (std::size_t i = 0; i < with_2d.points.size(); ++i) {
-        s1.Add(with_2d.points[i].inputs, with_2d.points[i].m.seconds);
-        s2.Add(without_2d.points[i].inputs, without_2d.points[i].m.seconds);
+      const std::size_t paired =
+          std::min(with_2d.points.size(), without_2d.points.size());
+      for (const ReadLatencyPoint& p : with_2d.points) {
+        s1.Add(p.inputs, p.m.seconds);
+      }
+      for (const ReadLatencyPoint& p : without_2d.points) {
+        s2.Add(p.inputs, p.m.seconds);
+      }
+      for (std::size_t i = 0; i < paired; ++i) {
         max_gap = std::max(max_gap, with_2d.points[i].m.seconds /
                                         without_2d.points[i].m.seconds);
       }
+      if (with_2d.points.empty()) return 0.0;
       g_sink.Note("4870 " + type_name + ": 2-D indexing costs 64x1 blocks "
                   "up to " + FormatDouble(100.0 * (max_gap - 1.0), 1) +
                   "% over a flat index");

@@ -34,13 +34,20 @@ void Register() {
           runner, ShaderMode::kPixel, DataType::kFloat, Config(true));
       Series& s1 = g_sink.Set().Get(arch.name + " register kernel");
       Series& s2 = g_sink.Set().Get(arch.name + " clause control");
+      bench::NoteFaults(g_sink, arch.name + " register kernel",
+                        sweep.report);
+      bench::NoteFaults(g_sink, arch.name + " clause control",
+                        control.report);
       double cmin = 1e30, cmax = 0;
-      for (std::size_t i = 0; i < sweep.points.size(); ++i) {
-        s1.Add(sweep.points[i].step, sweep.points[i].m.seconds);
-        s2.Add(control.points[i].step, control.points[i].m.seconds);
-        cmin = std::min(cmin, control.points[i].m.seconds);
-        cmax = std::max(cmax, control.points[i].m.seconds);
+      for (const RegisterUsagePoint& p : sweep.points) {
+        s1.Add(p.step, p.m.seconds);
       }
+      for (const RegisterUsagePoint& p : control.points) {
+        s2.Add(p.step, p.m.seconds);
+        cmin = std::min(cmin, p.m.seconds);
+        cmax = std::max(cmax, p.m.seconds);
+      }
+      if (sweep.points.empty() || control.points.empty()) return 0.0;
       g_sink.Note(arch.name + ": register kernel improves " +
                   FormatDouble(sweep.points.front().m.seconds /
                                    sweep.points.back().m.seconds, 2) +

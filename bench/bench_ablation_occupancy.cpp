@@ -36,6 +36,8 @@ void Register() {
       for (const RegisterUsagePoint& p : r.points) {
         series.Add(p.gpr_count, p.m.seconds);
       }
+      bench::NoteFaults(g_sink, "cap=" + std::to_string(cap), r.report);
+      if (r.points.empty()) return 0.0;
       g_sink.Note("cap=" + std::to_string(cap) + ": sweep improvement " +
                   FormatDouble(r.points.front().m.seconds /
                                    r.points.back().m.seconds, 2) + "x");

@@ -14,6 +14,13 @@
 //   AMDMB_DUMP_DIR=dir   write gnuplot .dat/.gp per figure.
 //   AMDMB_JSON_DIR=dir   write machine-readable BENCH_<figure>.json
 //                        per figure (curves + sim_seconds summary).
+//   AMDMB_FAULTS=spec    deterministic fault injection (see README);
+//                        degraded points surface as "failures" JSON
+//                        entries and "Fault annotations" note lines.
+//
+// Both output directories are validated up front (created if missing,
+// probed for writability) so a bad path fails with a clear message
+// before any sweep runs instead of silently dropping results.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -28,6 +35,7 @@
 #include "amdmb.hpp"
 #include "common/bench_json.hpp"
 #include "common/gnuplot.hpp"
+#include "exec/run_report.hpp"
 
 namespace amdmb::bench {
 
@@ -50,6 +58,11 @@ class FigureSink {
 
   void Note(const std::string& line) { notes_.push_back(line); }
 
+  /// Records one degraded sweep point (retried / skipped / failed).
+  /// Fault lines flow into the printed report and the JSON document's
+  /// "failures" array — emitted only when at least one point degraded.
+  void Fault(const std::string& line) { faults_.push_back(line); }
+
   void Print() const {
     std::cout << "\n==== " << id_ << " ====\n";
     std::cout << "Paper claim: " << claim_ << "\n\n";
@@ -58,6 +71,10 @@ class FigureSink {
       std::cout << "Measured:\n";
       for (const std::string& n : notes_) std::cout << "  - " << n << "\n";
     }
+    if (!faults_.empty()) {
+      std::cout << "Fault annotations (degraded sweep points):\n";
+      for (const std::string& f : faults_) std::cout << "  - " << f << "\n";
+    }
     if (const char* dir = std::getenv("AMDMB_DUMP_DIR");
         dir != nullptr && dir[0] != '\0' && !set_.All().empty()) {
       const auto script = WriteGnuplot(set_, dir, Slug());
@@ -65,7 +82,8 @@ class FigureSink {
     }
     if (const char* dir = std::getenv("AMDMB_JSON_DIR");
         dir != nullptr && dir[0] != '\0' && !set_.All().empty()) {
-      const auto json = WriteBenchJson(set_, id_, claim_, notes_, dir);
+      const auto json =
+          WriteBenchJson(set_, id_, claim_, notes_, dir, faults_);
       std::cout << "JSON results: " << json.string() << "\n";
     }
     std::cout.flush();
@@ -80,7 +98,17 @@ class FigureSink {
   std::string claim_;
   SeriesSet set_;
   std::vector<std::string> notes_;
+  std::vector<std::string> faults_;
 };
+
+/// Copies every non-ok point of `report` into the sink's fault list,
+/// prefixed with the owning curve name.
+inline void NoteFaults(FigureSink& sink, const std::string& curve,
+                       const exec::RunReport& report) {
+  for (const std::string& line : report.FailureLines()) {
+    sink.Fault(curve + "/" + line);
+  }
+}
 
 /// Registers one google-benchmark that runs `body` once and records the
 /// simulated seconds it reports as the "sim_seconds" counter.
@@ -100,15 +128,36 @@ inline void RegisterCurveBenchmark(const std::string& name,
       ->Unit(::benchmark::kMillisecond);
 }
 
-/// Standard bench main: run the registered benchmarks, then print every
-/// figure sink.
+/// Standard bench main: validate output directories, run the registered
+/// benchmarks, then print every figure sink. Returns 1 with a
+/// descriptive stderr message when an output directory is unusable —
+/// before any sweep runs, so hours of work are never silently dropped.
 inline int RunBenchMain(int argc, char** argv,
                         const std::vector<const FigureSink*>& sinks) {
+  try {
+    if (const char* dir = std::getenv("AMDMB_DUMP_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      EnsureWritableDirectory(dir, "AMDMB_DUMP_DIR");
+    }
+    if (const char* dir = std::getenv("AMDMB_JSON_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      EnsureWritableDirectory(dir, "AMDMB_JSON_DIR");
+    }
+  } catch (const ConfigError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   ::benchmark::Initialize(&argc, &argv[0]);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  for (const FigureSink* sink : sinks) sink->Print();
+  try {
+    for (const FigureSink* sink : sinks) sink->Print();
+  } catch (const std::exception& e) {
+    std::cerr << "error: writing figure outputs failed: " << e.what()
+              << "\n";
+    return 1;
+  }
   return 0;
 }
 

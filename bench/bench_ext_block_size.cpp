@@ -36,6 +36,8 @@ void Register() {
           series.Add(std::log2(static_cast<double>(p.block.x)),
                      p.m.seconds);
         }
+        bench::NoteFaults(g_sink, key.Name(), r.report);
+        if (r.points.empty()) return 0.0;
         g_sink.Note(key.Name() + ": best block " +
                     std::to_string(r.best.x) + "x" +
                     std::to_string(r.best.y) + " at " +

@@ -35,6 +35,8 @@ void Register() {
           RunAluFetch(runner, key.mode, key.type, Config());
       Series& series = g_sink.Set().Get(key.Name());
       for (const AluFetchPoint& p : r.points) series.Add(p.ratio, p.m.seconds);
+      bench::NoteFaults(g_sink, key.Name(), r.report);
+      if (r.points.empty()) return 0.0;
       g_sink.Note(key.Name() + ": crossover to ALU-bound at ratio " +
                   (r.crossover ? FormatDouble(*r.crossover, 2)
                                : std::string("> sweep end")) +

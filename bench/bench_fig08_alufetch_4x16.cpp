@@ -38,6 +38,9 @@ void Register() {
       for (const AluFetchPoint& p : blocked.points) {
         series.Add(p.ratio, p.m.seconds);
       }
+      bench::NoteFaults(g_sink, key.Name() + " 4x16", blocked.report);
+      bench::NoteFaults(g_sink, key.Name() + " 64x1", naive.report);
+      if (blocked.points.empty() || naive.points.empty()) return 0.0;
       const double speedup = naive.points.front().m.seconds /
                              blocked.points.front().m.seconds;
       g_sink.Note(key.Name() + ": 4x16 is " + FormatDouble(speedup, 2) +

@@ -41,6 +41,9 @@ void Register() {
       const AluFetchResult t = RunAluFetch(runner, key.mode, key.type, tex);
       Series& series = g_sink.Set().Get(key.Name());
       for (const AluFetchPoint& p : r.points) series.Add(p.ratio, p.m.seconds);
+      bench::NoteFaults(g_sink, key.Name() + " global", r.report);
+      bench::NoteFaults(g_sink, key.Name() + " texture", t.report);
+      if (r.points.empty() || t.points.empty()) return 0.0;
       g_sink.Note(key.Name() + ": global-read flat region " +
                   FormatDouble(r.points.front().m.seconds, 2) +
                   " s vs texture-read " +

@@ -38,14 +38,20 @@ void Register() {
       for (const AluFetchPoint& p : global.points) {
         series.Add(p.ratio, p.m.seconds);
       }
+      bench::NoteFaults(g_sink, key.Name(), global.report);
+      if (global.points.empty()) return 0.0;
       if (key.mode == ShaderMode::kPixel) {
         const AluFetchResult stream = RunAluFetch(runner, key.mode, key.type,
                                                   Config(WritePath::kStream));
-        g_sink.Note(key.Name() + ": global-write vs stream-write delta " +
-                    FormatDouble(100.0 * (global.points.front().m.seconds /
-                                              stream.points.front().m.seconds -
-                                          1.0), 1) +
-                    "% in the fetch-bound region");
+        bench::NoteFaults(g_sink, key.Name() + " stream", stream.report);
+        if (!stream.points.empty()) {
+          g_sink.Note(
+              key.Name() + ": global-write vs stream-write delta " +
+              FormatDouble(100.0 * (global.points.front().m.seconds /
+                                        stream.points.front().m.seconds -
+                                    1.0), 1) +
+              "% in the fetch-bound region");
+        }
       }
       return global.points.back().m.seconds;
     });

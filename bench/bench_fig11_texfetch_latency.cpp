@@ -31,6 +31,8 @@ void Register() {
       for (const ReadLatencyPoint& p : r.points) {
         series.Add(p.inputs, p.m.seconds);
       }
+      bench::NoteFaults(g_sink, key.Name(), r.report);
+      if (r.points.empty()) return 0.0;
       g_sink.Note(key.Name() + ": slope " + FormatDouble(r.fit.slope, 3) +
                   " s/input, R^2 " + FormatDouble(r.fit.r2, 3));
       return r.points.back().m.seconds;

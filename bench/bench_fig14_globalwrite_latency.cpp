@@ -31,6 +31,8 @@ void Register() {
       for (const WriteLatencyPoint& p : r.points) {
         series.Add(p.outputs, p.m.seconds);
       }
+      bench::NoteFaults(g_sink, key.Name(), r.report);
+      if (r.points.empty()) return 0.0;
       g_sink.Note(key.Name() + ": slope " + FormatDouble(r.fit.slope, 3) +
                   " s/output; last point bottleneck " +
                   std::string(sim::ToString(

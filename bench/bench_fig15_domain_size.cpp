@@ -52,6 +52,9 @@ void Register() {
             for (const DomainSizePoint& p : f.points) {
               series.Add(p.size, p.m.seconds);
             }
+            bench::NoteFaults(sink, label + " float", f.report);
+            bench::NoteFaults(sink, label + " float4", f4.report);
+            if (f.points.empty() || f4.points.empty()) return 0.0;
             const double max_type_gap =
                 f4.points.back().m.seconds / f.points.back().m.seconds;
             sink.Note(label + ": " +

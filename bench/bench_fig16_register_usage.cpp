@@ -33,6 +33,8 @@ void Register() {
       for (const RegisterUsagePoint& p : r.points) {
         series.Add(p.gpr_count, p.m.seconds);
       }
+      bench::NoteFaults(g_sink, key.Name(), r.report);
+      if (r.points.empty()) return 0.0;
       g_sink.Note(key.Name() + ": " + std::to_string(r.points.front().gpr_count) +
                   " GPRs -> " + FormatDouble(r.points.front().m.seconds, 2) +
                   " s; " + std::to_string(r.points.back().gpr_count) +

@@ -33,14 +33,23 @@ void Register() {
       const RegisterUsageResult naive = RunRegisterUsage(
           runner, key.mode, key.type, Config(BlockShape{64, 1}));
       Series& series = g_sink.Set().Get(key.Name());
+      bench::NoteFaults(g_sink, key.Name() + " 4x16", blocked.report);
+      bench::NoteFaults(g_sink, key.Name() + " 64x1", naive.report);
       double worst_gain = 1e9;
+      const std::size_t paired =
+          std::min(blocked.points.size(), naive.points.size());
       for (std::size_t i = 0; i < blocked.points.size(); ++i) {
         series.Add(blocked.points[i].gpr_count, blocked.points[i].m.seconds);
+      }
+      for (std::size_t i = 0; i < paired; ++i) {
         worst_gain = std::min(worst_gain, naive.points[i].m.seconds /
                                               blocked.points[i].m.seconds);
       }
-      g_sink.Note(key.Name() + ": 4x16 beats 64x1 by at least " +
-                  FormatDouble(worst_gain, 2) + "x across the sweep");
+      if (blocked.points.empty()) return 0.0;
+      if (paired > 0) {
+        g_sink.Note(key.Name() + ": 4x16 beats 64x1 by at least " +
+                    FormatDouble(worst_gain, 2) + "x across the sweep");
+      }
       return blocked.points.back().m.seconds;
     });
   }

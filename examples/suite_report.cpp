@@ -17,6 +17,11 @@ int main(int argc, char** argv) {
       options.arch_filter = argv[i];
     }
   }
-  std::cout << amdmb::suite::RunFullSuiteReport(options);
+  try {
+    std::cout << amdmb::suite::RunFullSuiteReport(options);
+  } catch (const amdmb::ConfigError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return 0;
 }

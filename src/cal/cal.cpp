@@ -9,16 +9,33 @@ Device Device::Open(std::string_view name) {
 Context::Context(const Device& device)
     : gpu_(std::make_unique<sim::Gpu>(device.Info())) {}
 
-Module Context::Compile(const il::Kernel& kernel) const {
+Module Context::Compile(const il::Kernel& kernel,
+                        const CallContext& call) const {
+  const std::string_view point =
+      call.point.empty() ? std::string_view(kernel.name) : call.point;
+  CheckInjectedFault(fault::FaultSite::kCompile, point, call.attempt);
   isa::Program program = compiler::Compile(kernel, gpu_->Arch());
   const compiler::SkaReport ska = compiler::Analyze(program, gpu_->Arch());
   return Module(std::move(program), ska);
 }
 
 RunEvent Context::Run(const Module& module, const sim::LaunchConfig& config,
-                      sim::Trace* trace) {
+                      sim::Trace* trace, const CallContext& call) {
+  const std::string_view point = call.point;
+  CheckInjectedFault(fault::FaultSite::kLaunch, point, call.attempt);
+  CheckInjectedFault(fault::FaultSite::kHang, point, call.attempt);
+  sim::LaunchConfig bounded = config;
+  if (bounded.watchdog_cycles == 0) {
+    bounded.watchdog_cycles = sim::DefaultWatchdogCycles();
+  }
   RunEvent event;
-  event.stats = gpu_->Execute(module.Program(), config, trace);
+  try {
+    event.stats = gpu_->Execute(module.Program(), bounded, trace);
+  } catch (const sim::WatchdogTimeout& e) {
+    throw CalError(CalResult::kCalTimeout, "launch", std::string(point),
+                   call.attempt, e.what());
+  }
+  CheckInjectedFault(fault::FaultSite::kReadback, point, call.attempt);
   event.seconds = event.stats.seconds;
   return event;
 }

@@ -4,7 +4,11 @@
 // open a device, create a context, compile an IL kernel to a module,
 // bind resources, run over a domain, and read a timer event. This module
 // reproduces that workflow on top of the simulator so the suite and the
-// examples read like the original StreamSDK code.
+// examples read like the original StreamSDK code — including its failure
+// modes: every boundary consults the deterministic fault injector
+// (src/fault) and reports failures as CalResult codes via CalError, and
+// a launch is bounded by a watchdog cycle budget so a hung simulation
+// surfaces as kCalTimeout instead of spinning forever.
 #pragma once
 
 #include <memory>
@@ -12,6 +16,7 @@
 #include <string_view>
 
 #include "arch/gpu_arch.hpp"
+#include "cal/cal_result.hpp"
 #include "compiler/compiler.hpp"
 #include "compiler/ska.hpp"
 #include "il/il.hpp"
@@ -19,6 +24,15 @@
 #include "sim/trace.hpp"
 
 namespace amdmb::cal {
+
+/// Identifies one runtime call for fault injection and error reporting:
+/// which sweep point it serves and which attempt this is (the retry
+/// layer increments `attempt`, which re-rolls the injected-fault
+/// decision deterministically).
+struct CallContext {
+  std::string point;     ///< Empty => derived from the kernel name.
+  unsigned attempt = 1;  ///< 1-based attempt counter.
+};
 
 /// An opened GPU (one of the three generations in Table I).
 class Device {
@@ -62,12 +76,18 @@ class Context {
   explicit Context(const Device& device);
 
   /// Compiles IL through the CAL compiler (verification included).
-  Module Compile(const il::Kernel& kernel) const;
+  /// Consults the fault injector at the compile boundary; an injected
+  /// fault throws CalError{kCalCompileFailed}.
+  Module Compile(const il::Kernel& kernel, const CallContext& call = {}) const;
 
   /// Launches the module over the configured domain and reads the timer.
   /// When `trace` is non-null, every executed clause is recorded.
+  /// Consults the fault injector at the launch / hang / readback
+  /// boundaries, and bounds the launch with `config.watchdog_cycles`
+  /// (falling back to AMDMB_WATCHDOG): failures surface as CalError with
+  /// the matching CalResult (a hung launch as kCalTimeout).
   RunEvent Run(const Module& module, const sim::LaunchConfig& config,
-               sim::Trace* trace = nullptr);
+               sim::Trace* trace = nullptr, const CallContext& call = {});
 
   const GpuArch& Arch() const { return gpu_->Arch(); }
 

@@ -1,0 +1,59 @@
+// CAL-style result codes and the structured runtime error.
+//
+// The real CAL API reports failures as CALresult codes rather than
+// crashing the host process. This module reproduces that contract for
+// the look-alike runtime: every failure at a compile / launch /
+// readback boundary carries a CalResult plus the failing stage, the
+// sweep point, and the attempt number, so the executor's retry layer
+// and the run report can reason about it. CalError derives from
+// TransientError — these are exactly the failures worth retrying,
+// unlike SimError invariants which fail fast.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "fault/fault.hpp"
+
+namespace amdmb::cal {
+
+/// CAL-style result code of a runtime operation.
+enum class CalResult {
+  kCalOk,
+  kCalCompileFailed,   ///< IL -> ISA compilation failed.
+  kCalLaunchFailed,    ///< Kernel launch failed transiently.
+  kCalTimeout,         ///< Watchdog fired: the kernel hung past its budget.
+  kCalReadbackFailed,  ///< Timer/counter readback failed.
+};
+
+std::string_view ToString(CalResult result);
+
+/// Structured runtime failure: result code + failing stage + point +
+/// attempt. Transient by definition — the executor may retry it.
+class CalError : public TransientError {
+ public:
+  CalError(CalResult code, std::string stage, std::string point,
+           unsigned attempt, const std::string& detail = {});
+
+  CalResult Code() const { return code_; }
+  const std::string& Stage() const { return stage_; }
+  const std::string& Point() const { return point_; }
+  unsigned Attempt() const { return attempt_; }
+
+ private:
+  CalResult code_;
+  std::string stage_;
+  std::string point_;
+  unsigned attempt_;
+};
+
+/// Consults the global fault injector at one runtime boundary with the
+/// deterministic key "<point>#<attempt>"; throws the matching CalError
+/// when the fault fires (FaultSite::kHang maps to kCalTimeout — the
+/// watchdog is what surfaces a hung kernel). No-op when no injector is
+/// installed.
+void CheckInjectedFault(fault::FaultSite site, std::string_view point,
+                        unsigned attempt);
+
+}  // namespace amdmb::cal

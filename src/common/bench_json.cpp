@@ -70,9 +70,33 @@ std::string JsonEscape(std::string_view text) {
   return out;
 }
 
+void EnsureWritableDirectory(const std::filesystem::path& directory,
+                             std::string_view label) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    throw ConfigError(std::string(label) + ": cannot create directory '" +
+                      directory.string() + "': " + ec.message());
+  }
+  // create_directories succeeds on an existing path even when it is not
+  // a directory or not writable — probe with a real file.
+  const std::filesystem::path probe =
+      directory / ".amdmb_write_probe.tmp";
+  {
+    std::ofstream out(probe);
+    if (!out.good()) {
+      throw ConfigError(std::string(label) + ": directory '" +
+                        directory.string() +
+                        "' is not writable (cannot create files in it)");
+    }
+  }
+  std::filesystem::remove(probe, ec);  // Best effort; the probe is empty.
+}
+
 std::string BenchJson(const SeriesSet& set, const std::string& id,
                       const std::string& paper_claim,
-                      const std::vector<std::string>& notes) {
+                      const std::vector<std::string>& notes,
+                      const std::vector<std::string>& failures) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"figure\": \"" << JsonEscape(id) << "\",\n";
@@ -84,6 +108,14 @@ std::string BenchJson(const SeriesSet& set, const std::string& id,
     os << "\"" << JsonEscape(notes[i]) << "\"";
   }
   os << "],\n";
+  if (!failures.empty()) {
+    os << "  \"failures\": [";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+      if (i) os << ", ";
+      os << "\"" << JsonEscape(failures[i]) << "\"";
+    }
+    os << "],\n";
+  }
   os << "  \"curves\": [\n";
   const auto& all = set.All();
   for (std::size_t s = 0; s < all.size(); ++s) {
@@ -118,21 +150,18 @@ std::string BenchJson(const SeriesSet& set, const std::string& id,
   return os.str();
 }
 
-std::filesystem::path WriteBenchJson(const SeriesSet& set,
-                                     const std::string& id,
-                                     const std::string& paper_claim,
-                                     const std::vector<std::string>& notes,
-                                     const std::filesystem::path& directory) {
-  std::error_code ec;
-  std::filesystem::create_directories(directory, ec);
-  Require(!ec,
-          "WriteBenchJson: cannot create directory " + directory.string());
+std::filesystem::path WriteBenchJson(
+    const SeriesSet& set, const std::string& id,
+    const std::string& paper_claim, const std::vector<std::string>& notes,
+    const std::filesystem::path& directory,
+    const std::vector<std::string>& failures) {
+  EnsureWritableDirectory(directory, "WriteBenchJson output directory");
 
   const std::filesystem::path file =
       directory / ("BENCH_" + FigureSlug(id) + ".json");
   std::ofstream out(file);
   Require(out.good(), "WriteBenchJson: cannot open " + file.string());
-  out << BenchJson(set, id, paper_claim, notes);
+  out << BenchJson(set, id, paper_claim, notes, failures);
   Require(out.good(), "WriteBenchJson: write failed for " + file.string());
   return file;
 }

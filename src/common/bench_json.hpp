@@ -9,6 +9,7 @@
 
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/series.hpp"
@@ -25,18 +26,30 @@ std::string FigureSlug(std::string_view id);
 /// JSON string escaping (quotes, backslashes, control characters).
 std::string JsonEscape(std::string_view text);
 
-/// The figure document as JSON text.
+/// Validates that `directory` exists (creating it if needed) and is
+/// writable by actually creating and removing a probe file in it.
+/// Throws ConfigError naming `label` (e.g. "AMDMB_JSON_DIR") with the
+/// OS error detail — a bad output directory must fail loudly up front,
+/// not silently drop results at the end of a long run.
+void EnsureWritableDirectory(const std::filesystem::path& directory,
+                             std::string_view label);
+
+/// The figure document as JSON text. `failures` carries the fault
+/// annotations of degraded sweep points; the "failures" array is only
+/// emitted when non-empty so fault-free documents are byte-identical to
+/// earlier releases.
 std::string BenchJson(const SeriesSet& set, const std::string& id,
                       const std::string& paper_claim,
-                      const std::vector<std::string>& notes);
+                      const std::vector<std::string>& notes,
+                      const std::vector<std::string>& failures = {});
 
 /// Writes `BENCH_<FigureSlug(id)>.json` under `directory` (created if
 /// missing) and returns the file path. Throws ConfigError on I/O
 /// failure.
-std::filesystem::path WriteBenchJson(const SeriesSet& set,
-                                     const std::string& id,
-                                     const std::string& paper_claim,
-                                     const std::vector<std::string>& notes,
-                                     const std::filesystem::path& directory);
+std::filesystem::path WriteBenchJson(
+    const SeriesSet& set, const std::string& id,
+    const std::string& paper_claim, const std::vector<std::string>& notes,
+    const std::filesystem::path& directory,
+    const std::vector<std::string>& failures = {});
 
 }  // namespace amdmb

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/bench_json.hpp"
 #include "common/status.hpp"
 
 namespace amdmb {
@@ -31,9 +32,7 @@ std::string GnuplotScript(const SeriesSet& set, const std::string& dat_file,
 std::filesystem::path WriteGnuplot(const SeriesSet& set,
                                    const std::filesystem::path& directory,
                                    const std::string& stem) {
-  std::error_code ec;
-  std::filesystem::create_directories(directory, ec);
-  Require(!ec, "WriteGnuplot: cannot create directory " + directory.string());
+  EnsureWritableDirectory(directory, "WriteGnuplot output directory");
 
   const std::filesystem::path dat = directory / (stem + ".dat");
   const std::filesystem::path gp = directory / (stem + ".gp");

@@ -26,6 +26,16 @@ class ConfigError : public std::invalid_argument {
       : std::invalid_argument(what) {}
 };
 
+/// Base class for failures that may succeed on retry (injected faults,
+/// transient runtime errors, watchdog timeouts). The sweep executor
+/// retries these with backoff; everything else — SimError invariants,
+/// ConfigError — is deterministic and fails fast.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void ThrowCheckFailure(std::string_view expr,
                                     std::string_view message,

@@ -1,10 +1,27 @@
 #include "exec/sweep_executor.hpp"
 
+#include <thread>
+
 namespace amdmb::exec {
 
 const SweepExecutor& SweepExecutor::Default() {
   static SweepExecutor executor;
   return executor;
+}
+
+std::string DescribeException(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+void SleepForMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
 }  // namespace amdmb::exec

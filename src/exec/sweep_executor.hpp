@@ -8,24 +8,41 @@
 // count: parallelism only changes *when* a point runs, never what it
 // computes or where its result lands.
 //
+// MapWithPolicy adds the resilience layer: transient failures
+// (TransientError — injected faults, watchdog timeouts) are retried per
+// point with capped exponential backoff, and exhausted points either
+// abort the sweep or degrade it to partial results with a RunReport of
+// what happened (see run_report.hpp).
+//
 // Nested Map calls from inside a pool worker run inline (serially) —
 // a saturated fixed-size pool cannot service tasks submitted by tasks
 // that are themselves blocking on completion.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <future>
 #include <memory>
 #include <optional>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/status.hpp"
+#include "exec/run_report.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace amdmb::exec {
+
+/// Renders an exception_ptr's message ("unknown exception" for
+/// non-std::exception payloads).
+std::string DescribeException(const std::exception_ptr& error);
+
+/// Sleeps the calling thread for `ms` milliseconds (no-op for ms <= 0).
+void SleepForMs(double ms);
 
 class SweepExecutor {
  public:
@@ -51,9 +68,10 @@ class SweepExecutor {
   static const SweepExecutor& Default();
 
   /// Runs `fn(0) .. fn(n-1)`, possibly concurrently, and returns the
-  /// results ordered by index. If any point throws, the exception of the
-  /// *lowest* failing index is rethrown (deterministic regardless of
-  /// scheduling) after every in-flight point has finished.
+  /// results ordered by index. Every point runs to completion even when
+  /// some throw; afterwards a SweepError aggregating *all* failing
+  /// points (index-ordered, hence deterministic regardless of
+  /// scheduling) is thrown if any failed.
   template <typename Fn>
   auto Map(std::size_t n, Fn&& fn) const {
     using R = std::invoke_result_t<Fn&, std::size_t>;
@@ -61,39 +79,14 @@ class SweepExecutor {
     std::vector<std::optional<R>> slots(n);
     std::vector<std::exception_ptr> errors(n);
 
-    const unsigned width = ThreadCount();
-    if (width <= 1 || n <= 1 || OnPoolThread()) {
-      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
-    } else {
-      std::atomic<std::size_t> next{0};
-      const auto worker = [&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          try {
-            slots[i].emplace(fn(i));
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
-        }
-      };
-      // width - 1 pool workers plus the calling thread; the futures keep
-      // every task's stack references alive until Map returns.
-      const std::size_t spawned =
-          std::min<std::size_t>(width - 1, n > 0 ? n - 1 : 0);
-      std::vector<std::future<void>> joined;
-      joined.reserve(spawned);
-      for (std::size_t t = 0; t < spawned; ++t) {
-        auto task = std::make_shared<std::packaged_task<void()>>(worker);
-        joined.push_back(task->get_future());
-        pool_->Submit([task] { (*task)(); });
+    ForEachIndex(n, [&](std::size_t i) {
+      try {
+        slots[i].emplace(fn(i));
+      } catch (...) {
+        errors[i] = std::current_exception();
       }
-      worker();
-      for (std::future<void>& f : joined) f.get();
-      for (std::size_t i = 0; i < n; ++i) {
-        if (errors[i]) std::rethrow_exception(errors[i]);
-      }
-    }
+    });
+    ThrowIfAnyFailed(errors);
 
     std::vector<R> out;
     out.reserve(n);
@@ -101,7 +94,114 @@ class SweepExecutor {
     return out;
   }
 
+  /// Resilient map: runs `fn(i, attempt)` with per-point retry under
+  /// `policy`. TransientErrors are retried up to policy.max_attempts
+  /// with deterministic backoff; any other exception is a deterministic
+  /// bug and never retried. A point whose retries are exhausted is
+  /// skipped (slot left empty) under kSkipAndReport, or — like every
+  /// non-transient failure — aggregated into a SweepError thrown after
+  /// all points finish under kFailFast. When `report` is non-null it
+  /// receives one index-ordered PointOutcome per point (labels default
+  /// to "point <i>"; callers may rename them afterwards).
+  template <typename Fn>
+  auto MapWithPolicy(std::size_t n, Fn&& fn, const RetryPolicy& policy,
+                     RunReport* report = nullptr) const {
+    using R = std::invoke_result_t<Fn&, std::size_t, unsigned>;
+    static_assert(!std::is_void_v<R>,
+                  "MapWithPolicy requires a result per point");
+    Require(policy.max_attempts >= 1,
+            "MapWithPolicy: policy needs at least one attempt");
+    std::vector<std::optional<R>> slots(n);
+    std::vector<PointOutcome> outcomes(n);
+    std::vector<std::exception_ptr> fatal(n);
+
+    ForEachIndex(n, [&](std::size_t i) {
+      PointOutcome& out = outcomes[i];
+      out.index = i;
+      out.label = "point " + std::to_string(i);
+      const auto start = std::chrono::steady_clock::now();
+      for (unsigned attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+        out.attempts = attempt;
+        try {
+          slots[i].emplace(fn(i, attempt));
+          out.status =
+              attempt == 1 ? PointStatus::kOk : PointStatus::kRetried;
+          out.error.clear();
+          break;
+        } catch (const TransientError& e) {
+          out.error = e.what();
+          if (attempt == policy.max_attempts) {
+            if (policy.on_exhausted == FailurePolicy::kSkipAndReport) {
+              out.status = PointStatus::kSkipped;
+            } else {
+              out.status = PointStatus::kFailed;
+              fatal[i] = std::current_exception();
+            }
+          } else {
+            SleepForMs(policy.BackoffMs(i, attempt));
+          }
+        } catch (...) {
+          // Deterministic failure (SimError invariant, ConfigError, ...):
+          // retrying cannot help and skipping would hide a bug.
+          fatal[i] = std::current_exception();
+          out.status = PointStatus::kFailed;
+          out.error = DescribeException(fatal[i]);
+          break;
+        }
+      }
+      out.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    });
+
+    if (report != nullptr) report->points = std::move(outcomes);
+    ThrowIfAnyFailed(fatal);
+    return slots;
+  }
+
  private:
+  /// Runs `body(0) .. body(n-1)`, possibly concurrently, returning after
+  /// every index has finished. `body` must not throw — callers catch per
+  /// index.
+  template <typename Body>
+  void ForEachIndex(std::size_t n, Body&& body) const {
+    const unsigned width = ThreadCount();
+    if (width <= 1 || n <= 1 || OnPoolThread()) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        body(i);
+      }
+    };
+    // width - 1 pool workers plus the calling thread; the futures keep
+    // every task's stack references alive until we return.
+    const std::size_t spawned =
+        std::min<std::size_t>(width - 1, n > 0 ? n - 1 : 0);
+    std::vector<std::future<void>> joined;
+    joined.reserve(spawned);
+    for (std::size_t t = 0; t < spawned; ++t) {
+      auto task = std::make_shared<std::packaged_task<void()>>(worker);
+      joined.push_back(task->get_future());
+      pool_->Submit([task] { (*task)(); });
+    }
+    worker();
+    for (std::future<void>& f : joined) f.get();
+  }
+
+  static void ThrowIfAnyFailed(const std::vector<std::exception_ptr>& errors) {
+    std::vector<PointFailure> failures;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      if (errors[i]) failures.push_back({i, DescribeException(errors[i])});
+    }
+    if (!failures.empty()) throw SweepError(std::move(failures));
+  }
+
   std::unique_ptr<ThreadPool> owned_;
   ThreadPool* pool_ = nullptr;  ///< nullptr => always inline.
 };

@@ -1,5 +1,6 @@
 #include "exec/thread_pool.hpp"
 
+#include <charconv>
 #include <cstdlib>
 #include <string>
 
@@ -11,14 +12,32 @@ namespace {
 
 thread_local bool tls_on_pool_thread = false;
 
+/// Absurdly-large worker counts are almost certainly typos (or integer
+/// garbage), not intent; reject them instead of spawning thousands of
+/// threads.
+constexpr unsigned long kMaxThreads = 4096;
+
 }  // namespace
+
+unsigned ParseThreadCount(std::string_view text) {
+  unsigned long n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), n);
+  Require(ec == std::errc() && ptr == text.data() + text.size(),
+          "AMDMB_THREADS='" + std::string(text) +
+              "': must be a positive integer");
+  Require(n >= 1, "AMDMB_THREADS='" + std::string(text) +
+                      "': needs at least one worker");
+  Require(n <= kMaxThreads,
+          "AMDMB_THREADS='" + std::string(text) + "': exceeds the cap of " +
+              std::to_string(kMaxThreads) + " workers");
+  return static_cast<unsigned>(n);
+}
 
 unsigned DefaultThreadCount() {
   if (const char* v = std::getenv("AMDMB_THREADS");
       v != nullptr && v[0] != '\0') {
-    const long n = std::strtol(v, nullptr, 10);
-    if (n >= 1) return static_cast<unsigned>(n);
-    return 1;
+    return ParseThreadCount(v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

@@ -1,6 +1,8 @@
 #include "sim/gpu.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdlib>
 #include <queue>
 #include <sstream>
 
@@ -19,6 +21,29 @@ std::string_view ToString(Bottleneck b) {
     case Bottleneck::kMemory: return "MEMORY";
   }
   throw SimError("ToString(Bottleneck): unknown value");
+}
+
+WatchdogTimeout::WatchdogTimeout(Cycles budget, Cycles reached)
+    : TransientError("watchdog: launch exceeded its cycle budget of " +
+                     std::to_string(budget) + " (event clock at " +
+                     std::to_string(reached) + ")"),
+      budget_(budget),
+      reached_(reached) {}
+
+Cycles DefaultWatchdogCycles() {
+  static const Cycles cycles = [] {
+    const char* v = std::getenv("AMDMB_WATCHDOG");
+    if (v == nullptr || v[0] == '\0') return Cycles{0};
+    std::uint64_t n = 0;
+    const std::string_view text(v);
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), n);
+    Require(ec == std::errc() && ptr == text.data() + text.size(),
+            "AMDMB_WATCHDOG='" + std::string(text) +
+                "': must be a cycle count (non-negative integer)");
+    return Cycles{n};
+  }();
+  return cycles;
 }
 
 Gpu::Gpu(GpuArch arch)
@@ -123,6 +148,9 @@ KernelStats Gpu::Execute(const isa::Program& program,
   while (!events.empty()) {
     const Event e = events.top();
     events.pop();
+    if (config.watchdog_cycles > 0 && e.t > config.watchdog_cycles) {
+      throw WatchdogTimeout(config.watchdog_cycles, e.t);
+    }
     Check(e.clause < program.clauses.size(), "Gpu::Execute: bad clause id");
     const isa::Clause& clause = program.clauses[e.clause];
     const WaveRect& rect = waves[e.wave];

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "arch/gpu_arch.hpp"
+#include "common/status.hpp"
 #include "compiler/isa.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
@@ -34,7 +35,31 @@ struct LaunchConfig {
   /// The paper times 5000 back-to-back executions of each kernel
   /// (Sec. III); reported seconds scale by this count.
   unsigned repetitions = 5000;
+  /// Watchdog cycle budget for one launch: a simulation whose event
+  /// clock passes this many cycles throws WatchdogTimeout instead of
+  /// spinning forever (0 = unlimited, the default). The CAL layer maps
+  /// the timeout to CalResult::kCalTimeout.
+  Cycles watchdog_cycles = 0;
 };
+
+/// Thrown by Gpu::Execute when a launch exceeds its watchdog cycle
+/// budget. Transient — a hung kernel is worth one more try.
+class WatchdogTimeout : public TransientError {
+ public:
+  WatchdogTimeout(Cycles budget, Cycles reached);
+
+  Cycles Budget() const { return budget_; }
+  Cycles Reached() const { return reached_; }
+
+ private:
+  Cycles budget_;
+  Cycles reached_;
+};
+
+/// Default watchdog budget from AMDMB_WATCHDOG (cycles per launch),
+/// validated once; 0 when unset. Throws ConfigError for non-numeric
+/// values.
+Cycles DefaultWatchdogCycles();
 
 /// Which hardware resource bounds the kernel (paper Sec. II-A).
 enum class Bottleneck { kAlu, kFetch, kMemory };

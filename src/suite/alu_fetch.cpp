@@ -29,22 +29,30 @@ AluFetchResult RunAluFetch(const Runner& runner, ShaderMode mode,
     ratios.push_back(ratio);
   }
 
-  result.points = exec::ExecutorOrDefault(config.executor)
-                      .Map(ratios.size(), [&](std::size_t i) {
-                        const double ratio = ratios[i];
-                        GenericSpec spec;
-                        spec.inputs = config.inputs;
-                        spec.outputs = config.outputs;
-                        spec.alu_ops = AluOpsForRatio(ratio, config.inputs);
-                        spec.type = type;
-                        spec.read_path = config.read_path;
-                        spec.write_path = write;
-                        spec.name = "alufetch_r" + FormatDouble(ratio, 2);
-                        AluFetchPoint point;
-                        point.ratio = ratio;
-                        point.m = runner.Measure(GenerateGeneric(spec), launch);
-                        return point;
-                      });
+  auto slots = exec::ExecutorOrDefault(config.executor)
+                   .MapWithPolicy(
+                       ratios.size(),
+                       [&](std::size_t i, unsigned attempt) {
+                         const double ratio = ratios[i];
+                         GenericSpec spec;
+                         spec.inputs = config.inputs;
+                         spec.outputs = config.outputs;
+                         spec.alu_ops = AluOpsForRatio(ratio, config.inputs);
+                         spec.type = type;
+                         spec.read_path = config.read_path;
+                         spec.write_path = write;
+                         spec.name = "alufetch_r" + FormatDouble(ratio, 2);
+                         AluFetchPoint point;
+                         point.ratio = ratio;
+                         point.m = runner.Measure(GenerateGeneric(spec), launch,
+                                                  {spec.name, attempt});
+                         return point;
+                       },
+                       config.retry, &result.report);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    result.report.points[i].label = "alufetch_r" + FormatDouble(ratios[i], 2);
+    if (slots[i]) result.points.push_back(std::move(*slots[i]));
+  }
   for (const AluFetchPoint& point : result.points) {
     if (point.m.stats.bottleneck == sim::Bottleneck::kAlu) {
       result.crossover = point.ratio;

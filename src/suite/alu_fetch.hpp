@@ -30,6 +30,8 @@ struct AluFetchConfig {
   /// Sweep points run through this executor (null = the process default,
   /// AMDMB_THREADS workers). Results are bit-identical at any width.
   const exec::SweepExecutor* executor = nullptr;
+  /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).
+  exec::RetryPolicy retry = exec::RetryPolicy::FromEnv();
 };
 
 struct AluFetchPoint {
@@ -38,10 +40,12 @@ struct AluFetchPoint {
 };
 
 struct AluFetchResult {
-  std::vector<AluFetchPoint> points;
+  std::vector<AluFetchPoint> points;  ///< Successful points only.
   /// First swept ratio at which the simulator classifies the kernel as
   /// ALU-bound, if it happens within the sweep.
   std::optional<double> crossover;
+  /// Per-point outcome (ok / retried / skipped) of the whole sweep.
+  exec::RunReport report;
 };
 
 AluFetchResult RunAluFetch(const Runner& runner, ShaderMode mode,

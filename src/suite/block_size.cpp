@@ -43,18 +43,29 @@ BlockSizeResult RunBlockSizeExplorer(const Runner& runner,
   Check(!shapes.empty(), "block explorer: no dividing shapes");
 
   BlockSizeResult result;
-  result.points = exec::ExecutorOrDefault(config.executor)
-                      .Map(shapes.size(), [&](std::size_t i) {
-                        sim::LaunchConfig launch;
-                        launch.domain = config.domain;
-                        launch.mode = ShaderMode::kCompute;
-                        launch.block = shapes[i];
-                        launch.repetitions = config.repetitions;
-                        BlockSizePoint point;
-                        point.block = shapes[i];
-                        point.m = runner.Measure(kernel, launch);
-                        return point;
-                      });
+  auto label_of = [](const BlockShape& block) {
+    return "block_" + std::to_string(block.x) + "x" + std::to_string(block.y);
+  };
+  auto slots = exec::ExecutorOrDefault(config.executor)
+                   .MapWithPolicy(
+                       shapes.size(),
+                       [&](std::size_t i, unsigned attempt) {
+                         sim::LaunchConfig launch;
+                         launch.domain = config.domain;
+                         launch.mode = ShaderMode::kCompute;
+                         launch.block = shapes[i];
+                         launch.repetitions = config.repetitions;
+                         BlockSizePoint point;
+                         point.block = shapes[i];
+                         point.m = runner.Measure(
+                             kernel, launch, {label_of(shapes[i]), attempt});
+                         return point;
+                       },
+                       config.retry, &result.report);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    result.report.points[i].label = label_of(shapes[i]);
+    if (slots[i]) result.points.push_back(std::move(*slots[i]));
+  }
 
   double naive_seconds = 0.0;
   bool first = true;
@@ -66,8 +77,9 @@ BlockSizeResult RunBlockSizeExplorer(const Runner& runner,
     }
     if (point.block.y == 1) naive_seconds = point.m.seconds;
   }
-  result.naive_penalty =
-      naive_seconds > 0.0 ? naive_seconds / result.best_seconds : 1.0;
+  result.naive_penalty = naive_seconds > 0.0 && result.best_seconds > 0.0
+                             ? naive_seconds / result.best_seconds
+                             : 1.0;
   return result;
 }
 

@@ -25,6 +25,8 @@ struct BlockSizeConfig {
   unsigned repetitions = kPaperRepetitions;
   /// Sweep points run through this executor (null = the process default).
   const exec::SweepExecutor* executor = nullptr;
+  /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).
+  exec::RetryPolicy retry = exec::RetryPolicy::FromEnv();
 };
 
 struct BlockSizePoint {
@@ -33,11 +35,13 @@ struct BlockSizePoint {
 };
 
 struct BlockSizeResult {
-  std::vector<BlockSizePoint> points;  ///< One per shape, wide to tall.
+  std::vector<BlockSizePoint> points;  ///< Successful shapes, wide to tall.
   BlockShape best;
   double best_seconds = 0.0;
   /// Slowdown of the naive 64x1 shape relative to the best.
   double naive_penalty = 1.0;
+  /// Per-point outcome (ok / retried / skipped) of the whole sweep.
+  exec::RunReport report;
 };
 
 /// All one-wavefront rectangular block shapes for the wavefront size

@@ -32,18 +32,28 @@ DomainSizeResult RunDomainSize(const Runner& runner, ShaderMode mode,
   }
 
   DomainSizeResult result;
-  result.points = exec::ExecutorOrDefault(config.executor)
-                      .Map(sizes.size(), [&](std::size_t i) {
-                        sim::LaunchConfig launch;
-                        launch.domain = Domain{sizes[i], sizes[i]};
-                        launch.mode = mode;
-                        launch.block = config.block;
-                        launch.repetitions = config.repetitions;
-                        DomainSizePoint point;
-                        point.size = sizes[i];
-                        point.m = runner.Measure(kernel, launch);
-                        return point;
-                      });
+  auto slots =
+      exec::ExecutorOrDefault(config.executor)
+          .MapWithPolicy(
+              sizes.size(),
+              [&](std::size_t i, unsigned attempt) {
+                sim::LaunchConfig launch;
+                launch.domain = Domain{sizes[i], sizes[i]};
+                launch.mode = mode;
+                launch.block = config.block;
+                launch.repetitions = config.repetitions;
+                DomainSizePoint point;
+                point.size = sizes[i];
+                point.m = runner.Measure(
+                    kernel, launch,
+                    {"domain_" + std::to_string(sizes[i]), attempt});
+                return point;
+              },
+              config.retry, &result.report);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    result.report.points[i].label = "domain_" + std::to_string(sizes[i]);
+    if (slots[i]) result.points.push_back(std::move(*slots[i]));
+  }
   return result;
 }
 

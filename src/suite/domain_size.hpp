@@ -25,6 +25,8 @@ struct DomainSizeConfig {
   unsigned repetitions = kPaperRepetitions;
   /// Sweep points run through this executor (null = the process default).
   const exec::SweepExecutor* executor = nullptr;
+  /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).
+  exec::RetryPolicy retry = exec::RetryPolicy::FromEnv();
 };
 
 struct DomainSizePoint {
@@ -33,7 +35,9 @@ struct DomainSizePoint {
 };
 
 struct DomainSizeResult {
-  std::vector<DomainSizePoint> points;
+  std::vector<DomainSizePoint> points;  ///< Successful points only.
+  /// Per-point outcome (ok / retried / skipped) of the whole sweep.
+  exec::RunReport report;
 };
 
 DomainSizeResult RunDomainSize(const Runner& runner, ShaderMode mode,

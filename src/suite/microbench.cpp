@@ -8,15 +8,33 @@ Runner::Runner(const GpuArch& arch, exec::KernelCache* cache)
     : gpu_(arch), cache_(cache) {}
 
 Measurement Runner::Measure(const il::Kernel& kernel,
-                            const sim::LaunchConfig& config) const {
+                            const sim::LaunchConfig& config,
+                            const MeasureContext& ctx) const {
+  const std::string_view point =
+      ctx.point.empty() ? std::string_view(kernel.name) : ctx.point;
+  // The compile boundary is checked before the cache lookup so the fault
+  // schedule never depends on what some other point compiled first.
+  cal::CheckInjectedFault(fault::FaultSite::kCompile, point, ctx.attempt);
   const std::shared_ptr<const isa::Program> program =
       cache_ != nullptr
           ? cache_->Compile(kernel, gpu_.Arch())
           : std::make_shared<const isa::Program>(
                 compiler::Compile(kernel, gpu_.Arch()));
+  cal::CheckInjectedFault(fault::FaultSite::kLaunch, point, ctx.attempt);
+  cal::CheckInjectedFault(fault::FaultSite::kHang, point, ctx.attempt);
+  sim::LaunchConfig bounded = config;
+  if (bounded.watchdog_cycles == 0) {
+    bounded.watchdog_cycles = sim::DefaultWatchdogCycles();
+  }
   Measurement m;
   m.ska = compiler::Analyze(*program, gpu_.Arch());
-  m.stats = gpu_.Execute(*program, config);
+  try {
+    m.stats = gpu_.Execute(*program, bounded);
+  } catch (const sim::WatchdogTimeout& e) {
+    throw cal::CalError(cal::CalResult::kCalTimeout, "launch",
+                        std::string(point), ctx.attempt, e.what());
+  }
+  cal::CheckInjectedFault(fault::FaultSite::kReadback, point, ctx.attempt);
   m.seconds = m.stats.seconds;
   return m;
 }

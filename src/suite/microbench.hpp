@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "arch/gpu_arch.hpp"
+#include "cal/cal_result.hpp"
 #include "compiler/ska.hpp"
 #include "exec/kernel_cache.hpp"
 #include "exec/sweep_executor.hpp"
@@ -14,6 +15,14 @@
 #include "sim/gpu.hpp"
 
 namespace amdmb::suite {
+
+/// Identifies one measurement for fault injection / error reporting:
+/// the sweep-point name (empty = the kernel name) and the 1-based
+/// attempt number the retry layer is on.
+struct MeasureContext {
+  std::string point;
+  unsigned attempt = 1;
+};
 
 /// One measured kernel execution.
 struct Measurement {
@@ -34,8 +43,15 @@ class Runner {
   explicit Runner(const GpuArch& arch,
                   exec::KernelCache* cache = &exec::KernelCache::Shared());
 
+  /// Measures one launch. Mirrors the CAL runtime contract: the fault
+  /// injector is consulted at the compile / launch / readback
+  /// boundaries (before the kernel cache, so the schedule is independent
+  /// of cache state), the launch is bounded by the watchdog budget
+  /// (config.watchdog_cycles, else AMDMB_WATCHDOG), and every failure
+  /// surfaces as a cal::CalError carrying the stage, point, and attempt.
   Measurement Measure(const il::Kernel& kernel,
-                      const sim::LaunchConfig& config) const;
+                      const sim::LaunchConfig& config,
+                      const MeasureContext& ctx = {}) const;
 
   const GpuArch& Arch() const { return gpu_.Arch(); }
 

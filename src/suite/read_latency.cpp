@@ -21,25 +21,35 @@ ReadLatencyResult RunReadLatency(const Runner& runner, ShaderMode mode,
       mode == ShaderMode::kCompute ? WritePath::kGlobal : WritePath::kStream;
 
   const std::size_t count = config.max_inputs - config.min_inputs + 1;
-  result.points = exec::ExecutorOrDefault(config.executor)
-                      .Map(count, [&](std::size_t i) {
-                        const unsigned inputs =
-                            config.min_inputs + static_cast<unsigned>(i);
-                        GenericSpec spec;
-                        spec.inputs = inputs;
-                        spec.outputs = 1;
-                        // Sec. III-B: ALU ops fixed to inputs - 1 so the
-                        // fetch stays the bottleneck.
-                        spec.alu_ops = inputs - 1;
-                        spec.type = type;
-                        spec.read_path = config.read_path;
-                        spec.write_path = write;
-                        spec.name = "readlat_in" + std::to_string(inputs);
-                        ReadLatencyPoint point;
-                        point.inputs = inputs;
-                        point.m = runner.Measure(GenerateGeneric(spec), launch);
-                        return point;
-                      });
+  auto slots = exec::ExecutorOrDefault(config.executor)
+                   .MapWithPolicy(
+                       count,
+                       [&](std::size_t i, unsigned attempt) {
+                         const unsigned inputs =
+                             config.min_inputs + static_cast<unsigned>(i);
+                         GenericSpec spec;
+                         spec.inputs = inputs;
+                         spec.outputs = 1;
+                         // Sec. III-B: ALU ops fixed to inputs - 1 so the
+                         // fetch stays the bottleneck.
+                         spec.alu_ops = inputs - 1;
+                         spec.type = type;
+                         spec.read_path = config.read_path;
+                         spec.write_path = write;
+                         spec.name = "readlat_in" + std::to_string(inputs);
+                         ReadLatencyPoint point;
+                         point.inputs = inputs;
+                         point.m = runner.Measure(GenerateGeneric(spec),
+                                                  launch, {spec.name, attempt});
+                         return point;
+                       },
+                       config.retry, &result.report);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    result.report.points[i].label =
+        "readlat_in" +
+        std::to_string(config.min_inputs + static_cast<unsigned>(i));
+    if (slots[i]) result.points.push_back(std::move(*slots[i]));
+  }
 
   std::vector<double> xs;
   std::vector<double> ys;

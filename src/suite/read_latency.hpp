@@ -23,6 +23,8 @@ struct ReadLatencyConfig {
   unsigned repetitions = kPaperRepetitions;
   /// Sweep points run through this executor (null = the process default).
   const exec::SweepExecutor* executor = nullptr;
+  /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).
+  exec::RetryPolicy retry = exec::RetryPolicy::FromEnv();
 };
 
 struct ReadLatencyPoint {
@@ -31,8 +33,10 @@ struct ReadLatencyPoint {
 };
 
 struct ReadLatencyResult {
-  std::vector<ReadLatencyPoint> points;
+  std::vector<ReadLatencyPoint> points;  ///< Successful points only.
   LineFit fit;  ///< seconds vs inputs.
+  /// Per-point outcome (ok / retried / skipped) of the whole sweep.
+  exec::RunReport report;
 };
 
 ReadLatencyResult RunReadLatency(const Runner& runner, ShaderMode mode,

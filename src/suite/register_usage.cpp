@@ -18,28 +18,41 @@ RegisterUsageResult RunRegisterUsage(const Runner& runner, ShaderMode mode,
   launch.repetitions = config.repetitions;
 
   const std::size_t count = config.max_step - config.min_step + 1;
-  result.points =
-      exec::ExecutorOrDefault(config.executor).Map(count, [&](std::size_t i) {
-        const unsigned step = config.min_step + static_cast<unsigned>(i);
-        RegisterUsageSpec spec;
-        spec.inputs = config.inputs;
-        spec.space = config.space;
-        spec.step = step;
-        spec.alu_fetch_ratio = config.alu_fetch_ratio;
-        spec.type = type;
-        spec.read_path = ReadPath::kTexture;
-        spec.write_path = mode == ShaderMode::kCompute ? WritePath::kGlobal
-                                                       : WritePath::kStream;
-        spec.name = "regusage_s" + std::to_string(step);
-        const il::Kernel kernel = config.clause_control
-                                      ? GenerateClauseUsage(spec)
-                                      : GenerateRegisterUsage(spec);
-        RegisterUsagePoint point;
-        point.step = step;
-        point.m = runner.Measure(kernel, launch);
-        point.gpr_count = point.m.stats.gpr_count;
-        return point;
-      });
+  auto slots = exec::ExecutorOrDefault(config.executor)
+                   .MapWithPolicy(
+                       count,
+                       [&](std::size_t i, unsigned attempt) {
+                         const unsigned step =
+                             config.min_step + static_cast<unsigned>(i);
+                         RegisterUsageSpec spec;
+                         spec.inputs = config.inputs;
+                         spec.space = config.space;
+                         spec.step = step;
+                         spec.alu_fetch_ratio = config.alu_fetch_ratio;
+                         spec.type = type;
+                         spec.read_path = ReadPath::kTexture;
+                         spec.write_path = mode == ShaderMode::kCompute
+                                               ? WritePath::kGlobal
+                                               : WritePath::kStream;
+                         spec.name = "regusage_s" + std::to_string(step);
+                         const il::Kernel kernel =
+                             config.clause_control
+                                 ? GenerateClauseUsage(spec)
+                                 : GenerateRegisterUsage(spec);
+                         RegisterUsagePoint point;
+                         point.step = step;
+                         point.m = runner.Measure(kernel, launch,
+                                                  {spec.name, attempt});
+                         point.gpr_count = point.m.stats.gpr_count;
+                         return point;
+                       },
+                       config.retry, &result.report);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    result.report.points[i].label =
+        "regusage_s" +
+        std::to_string(config.min_step + static_cast<unsigned>(i));
+    if (slots[i]) result.points.push_back(std::move(*slots[i]));
+  }
   return result;
 }
 

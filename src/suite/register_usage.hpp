@@ -32,6 +32,8 @@ struct RegisterUsageConfig {
   bool clause_control = false;  ///< true -> the Fig. 5 control kernel.
   /// Sweep points run through this executor (null = the process default).
   const exec::SweepExecutor* executor = nullptr;
+  /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).
+  exec::RetryPolicy retry = exec::RetryPolicy::FromEnv();
 };
 
 struct RegisterUsagePoint {
@@ -41,7 +43,9 @@ struct RegisterUsagePoint {
 };
 
 struct RegisterUsageResult {
-  std::vector<RegisterUsagePoint> points;
+  std::vector<RegisterUsagePoint> points;  ///< Successful points only.
+  /// Per-point outcome (ok / retried / skipped) of the whole sweep.
+  exec::RunReport report;
 };
 
 RegisterUsageResult RunRegisterUsage(const Runner& runner, ShaderMode mode,

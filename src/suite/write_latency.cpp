@@ -25,23 +25,33 @@ WriteLatencyResult RunWriteLatency(const Runner& runner, ShaderMode mode,
       mode == ShaderMode::kCompute ? WritePath::kGlobal : config.write_path;
 
   const std::size_t count = config.max_outputs - config.min_outputs + 1;
-  result.points = exec::ExecutorOrDefault(config.executor)
-                      .Map(count, [&](std::size_t i) {
-                        const unsigned outputs =
-                            config.min_outputs + static_cast<unsigned>(i);
-                        GenericSpec spec;
-                        spec.inputs = config.inputs;
-                        spec.outputs = outputs;
-                        spec.alu_ops = config.alu_ops;
-                        spec.type = type;
-                        spec.read_path = ReadPath::kTexture;
-                        spec.write_path = write;
-                        spec.name = "writelat_out" + std::to_string(outputs);
-                        WriteLatencyPoint point;
-                        point.outputs = outputs;
-                        point.m = runner.Measure(GenerateGeneric(spec), launch);
-                        return point;
-                      });
+  auto slots = exec::ExecutorOrDefault(config.executor)
+                   .MapWithPolicy(
+                       count,
+                       [&](std::size_t i, unsigned attempt) {
+                         const unsigned outputs =
+                             config.min_outputs + static_cast<unsigned>(i);
+                         GenericSpec spec;
+                         spec.inputs = config.inputs;
+                         spec.outputs = outputs;
+                         spec.alu_ops = config.alu_ops;
+                         spec.type = type;
+                         spec.read_path = ReadPath::kTexture;
+                         spec.write_path = write;
+                         spec.name = "writelat_out" + std::to_string(outputs);
+                         WriteLatencyPoint point;
+                         point.outputs = outputs;
+                         point.m = runner.Measure(GenerateGeneric(spec),
+                                                  launch, {spec.name, attempt});
+                         return point;
+                       },
+                       config.retry, &result.report);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    result.report.points[i].label =
+        "writelat_out" +
+        std::to_string(config.min_outputs + static_cast<unsigned>(i));
+    if (slots[i]) result.points.push_back(std::move(*slots[i]));
+  }
 
   std::vector<double> xs;
   std::vector<double> ys;

@@ -27,6 +27,8 @@ struct WriteLatencyConfig {
   unsigned repetitions = kPaperRepetitions;
   /// Sweep points run through this executor (null = the process default).
   const exec::SweepExecutor* executor = nullptr;
+  /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).
+  exec::RetryPolicy retry = exec::RetryPolicy::FromEnv();
 };
 
 struct WriteLatencyPoint {
@@ -35,8 +37,10 @@ struct WriteLatencyPoint {
 };
 
 struct WriteLatencyResult {
-  std::vector<WriteLatencyPoint> points;
+  std::vector<WriteLatencyPoint> points;  ///< Successful points only.
   LineFit fit;  ///< seconds vs outputs.
+  /// Per-point outcome (ok / retried / skipped) of the whole sweep.
+  exec::RunReport report;
 };
 
 WriteLatencyResult RunWriteLatency(const Runner& runner, ShaderMode mode,

@@ -1,6 +1,7 @@
 // Tests for the execution layer: thread pool, sweep executor, kernel
-// cache, and the end-to-end determinism guarantee (a full ALU:Fetch
-// sweep produces bit-identical KernelStats at 1 and 8 threads).
+// cache, retry policies under injected faults, and the end-to-end
+// determinism guarantee (a full ALU:Fetch sweep produces bit-identical
+// KernelStats at 1 and 8 threads, with or without faults).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -11,15 +12,22 @@
 #include <vector>
 
 #include "exec/kernel_cache.hpp"
+#include "exec/run_report.hpp"
 #include "exec/sweep_executor.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/fault.hpp"
 #include "suite/alu_fetch.hpp"
 #include "suite/kernelgen.hpp"
 
 namespace amdmb {
 namespace {
 
+using exec::FailurePolicy;
 using exec::KernelCache;
+using exec::PointStatus;
+using exec::RetryPolicy;
+using exec::RunReport;
+using exec::SweepError;
 using exec::SweepExecutor;
 using exec::ThreadPool;
 
@@ -89,18 +97,30 @@ TEST(SweepExecutorTest, ParallelMapUsesMultipleThreads) {
   EXPECT_GE(seen.size(), 2u);
 }
 
-TEST(SweepExecutorTest, RethrowsLowestFailingIndex) {
-  const SweepExecutor executor(8);
-  try {
-    executor.Map(50, [](std::size_t i) -> int {
-      if (i % 7 == 3) {  // Fails at 3, 10, 17, ... lowest is 3.
-        throw std::runtime_error("point " + std::to_string(i));
+TEST(SweepExecutorTest, AggregatesEveryFailingPoint) {
+  // A 50-point sweep failing at 3, 10, 17, ..., 45 must report all
+  // seven failures, index-ordered — not just the lowest one.
+  for (const unsigned threads : {1u, 8u}) {
+    const SweepExecutor executor(threads);
+    try {
+      executor.Map(50, [](std::size_t i) -> int {
+        if (i % 7 == 3) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+        return static_cast<int>(i);
+      });
+      FAIL() << "expected SweepError";
+    } catch (const SweepError& e) {
+      ASSERT_EQ(e.Failures().size(), 7u);
+      for (std::size_t k = 0; k < e.Failures().size(); ++k) {
+        EXPECT_EQ(e.Failures()[k].index, 3 + 7 * k);
+        EXPECT_EQ(e.Failures()[k].message,
+                  "boom at " + std::to_string(3 + 7 * k));
       }
-      return static_cast<int>(i);
-    });
-    FAIL() << "expected an exception";
-  } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "point 3");
+      EXPECT_NE(std::string(e.what()).find("7 points"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("boom at 45"),
+                std::string::npos);
+    }
   }
 }
 
@@ -117,6 +137,162 @@ TEST(SweepExecutorTest, NestedMapRunsInlineWithoutDeadlock) {
   for (std::size_t outer = 0; outer < 4; ++outer) {
     EXPECT_EQ(out[outer], outer * 40 + 6);
   }
+}
+
+// ---- MapWithPolicy -----------------------------------------------------
+
+RetryPolicy FastRetry(unsigned attempts,
+                      FailurePolicy on_exhausted =
+                          FailurePolicy::kSkipAndReport) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.backoff_base_ms = 0.0;  // No sleeping in tests.
+  policy.on_exhausted = on_exhausted;
+  return policy;
+}
+
+TEST(MapWithPolicyTest, RetriesTransientFailures) {
+  const SweepExecutor executor(4);
+  RunReport report;
+  std::atomic<int> calls{0};
+  const auto slots = executor.MapWithPolicy(
+      10,
+      [&](std::size_t i, unsigned attempt) -> int {
+        calls.fetch_add(1);
+        if (i == 4 && attempt < 3) {
+          throw TransientError("flaky point");
+        }
+        return static_cast<int>(i * 10);
+      },
+      FastRetry(3), &report);
+  ASSERT_EQ(slots.size(), 10u);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    ASSERT_TRUE(slots[i].has_value());
+    EXPECT_EQ(*slots[i], static_cast<int>(i * 10));
+  }
+  EXPECT_EQ(calls.load(), 12);  // 9 clean points + 3 attempts at point 4.
+  EXPECT_EQ(report.points.size(), 10u);
+  EXPECT_EQ(report.CountOf(PointStatus::kOk), 9u);
+  EXPECT_EQ(report.CountOf(PointStatus::kRetried), 1u);
+  EXPECT_EQ(report.points[4].attempts, 3u);
+  EXPECT_TRUE(report.points[4].error.empty());
+}
+
+TEST(MapWithPolicyTest, SkipAndReportDegradesGracefully) {
+  const SweepExecutor executor(4);
+  RunReport report;
+  const auto slots = executor.MapWithPolicy(
+      10,
+      [&](std::size_t i, unsigned) -> int {
+        if (i % 3 == 1) throw TransientError("always down");
+        return static_cast<int>(i);
+      },
+      FastRetry(2), &report);
+  ASSERT_EQ(slots.size(), 10u);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].has_value(), i % 3 != 1);
+  }
+  EXPECT_EQ(report.CountOf(PointStatus::kSkipped), 3u);
+  EXPECT_EQ(report.points[1].attempts, 2u);
+  EXPECT_EQ(report.points[1].error, "always down");
+  EXPECT_FALSE(report.AllOk());
+  EXPECT_EQ(report.Summary(), "7 ok, 3 skipped of 10 points");
+  EXPECT_EQ(report.FailureLines().size(), 3u);
+}
+
+TEST(MapWithPolicyTest, FailFastThrowsAggregateAfterExhaustion) {
+  const SweepExecutor executor(4);
+  RunReport report;
+  try {
+    executor.MapWithPolicy(
+        10,
+        [&](std::size_t i, unsigned) -> int {
+          if (i == 2 || i == 7) throw TransientError("dead point");
+          return static_cast<int>(i);
+        },
+        FastRetry(2, FailurePolicy::kFailFast), &report);
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    ASSERT_EQ(e.Failures().size(), 2u);
+    EXPECT_EQ(e.Failures()[0].index, 2u);
+    EXPECT_EQ(e.Failures()[1].index, 7u);
+  }
+  EXPECT_EQ(report.CountOf(PointStatus::kFailed), 2u);
+}
+
+TEST(MapWithPolicyTest, NonTransientErrorsAreNeverRetried) {
+  const SweepExecutor executor(1);
+  RunReport report;
+  std::atomic<int> calls_at_3{0};
+  try {
+    executor.MapWithPolicy(
+        5,
+        [&](std::size_t i, unsigned) -> int {
+          if (i == 3) {
+            calls_at_3.fetch_add(1);
+            throw std::logic_error("deterministic bug");
+          }
+          return static_cast<int>(i);
+        },
+        FastRetry(5), &report);  // Even under the skip policy.
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    ASSERT_EQ(e.Failures().size(), 1u);
+    EXPECT_EQ(e.Failures()[0].message, "deterministic bug");
+  }
+  EXPECT_EQ(calls_at_3.load(), 1);  // No retry for a deterministic bug.
+  EXPECT_EQ(report.points[3].status, PointStatus::kFailed);
+}
+
+TEST(MapWithPolicyTest, BackoffIsDeterministicCappedExponential) {
+  RetryPolicy policy;
+  policy.backoff_base_ms = 2.0;
+  policy.backoff_cap_ms = 16.0;
+  policy.jitter_seed = 5;
+  for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+    const double a = policy.BackoffMs(3, attempt);
+    EXPECT_DOUBLE_EQ(a, policy.BackoffMs(3, attempt));  // Pure function.
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, policy.backoff_cap_ms);
+  }
+  // Different points draw different jitter.
+  bool differs = false;
+  for (std::size_t i = 0; i < 8 && !differs; ++i) {
+    differs = policy.BackoffMs(i, 1) != policy.BackoffMs(i + 1, 1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicyTest, ParsesSpecAndRejectsGarbage) {
+  const RetryPolicy p = RetryPolicy::Parse(
+      "attempts=5,policy=fail-fast,backoff_ms=2,backoff_cap_ms=32,seed=9");
+  EXPECT_EQ(p.max_attempts, 5u);
+  EXPECT_EQ(p.on_exhausted, FailurePolicy::kFailFast);
+  EXPECT_DOUBLE_EQ(p.backoff_base_ms, 2.0);
+  EXPECT_DOUBLE_EQ(p.backoff_cap_ms, 32.0);
+  EXPECT_EQ(p.jitter_seed, 9u);
+  EXPECT_THROW(RetryPolicy::Parse("attempts=0"), ConfigError);
+  EXPECT_THROW(RetryPolicy::Parse("policy=maybe"), ConfigError);
+  EXPECT_THROW(RetryPolicy::Parse("bogus=1"), ConfigError);
+}
+
+// ---- AMDMB_THREADS validation ------------------------------------------
+
+TEST(ParseThreadCountTest, AcceptsPositiveIntegers) {
+  EXPECT_EQ(exec::ParseThreadCount("1"), 1u);
+  EXPECT_EQ(exec::ParseThreadCount("16"), 16u);
+  EXPECT_EQ(exec::ParseThreadCount("4096"), 4096u);
+}
+
+TEST(ParseThreadCountTest, RejectsInvalidValues) {
+  EXPECT_THROW(exec::ParseThreadCount(""), ConfigError);
+  EXPECT_THROW(exec::ParseThreadCount("abc"), ConfigError);
+  EXPECT_THROW(exec::ParseThreadCount("4x"), ConfigError);
+  EXPECT_THROW(exec::ParseThreadCount("-2"), ConfigError);
+  EXPECT_THROW(exec::ParseThreadCount("0"), ConfigError);
+  EXPECT_THROW(exec::ParseThreadCount("4097"), ConfigError);
+  EXPECT_THROW(exec::ParseThreadCount("99999999999999999999"), ConfigError);
+  EXPECT_THROW(exec::ParseThreadCount(" 4"), ConfigError);
 }
 
 // ---- KernelCache -------------------------------------------------------
@@ -235,6 +411,100 @@ TEST(ExecDeterminismTest, AluFetchSweepBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(a.points[i].m.stats, b.points[i].m.stats)
         << "KernelStats diverge at point " << i;
   }
+  EXPECT_TRUE(a.report.AllOk());
+  EXPECT_TRUE(a.report.SameOutcomes(b.report));
+}
+
+// ---- Graceful degradation under injected faults ------------------------
+
+TEST(ExecFaultResilienceTest, AluFetchSweepDegradesDeterministically) {
+  const GpuArch arch = MakeRV770();
+  suite::AluFetchConfig config;
+  config.domain = Domain{256, 256};
+  config.retry.max_attempts = 2;
+  config.retry.backoff_base_ms = 0.0;
+
+  const SweepExecutor serial(1);
+  const SweepExecutor wide(8);
+
+  // Fault-free reference sweep.
+  suite::AluFetchConfig clean_config = config;
+  clean_config.executor = &serial;
+  const suite::Runner runner(arch);
+  const suite::AluFetchResult clean = RunAluFetch(
+      runner, ShaderMode::kPixel, DataType::kFloat, clean_config);
+
+  const fault::ScopedFaultInjector scoped("launch:0.3,seed=11");
+  suite::AluFetchConfig serial_config = config;
+  serial_config.executor = &serial;
+  suite::AluFetchConfig wide_config = config;
+  wide_config.executor = &wide;
+
+  const suite::AluFetchResult a = RunAluFetch(
+      runner, ShaderMode::kPixel, DataType::kFloat, serial_config);
+  const suite::AluFetchResult b = RunAluFetch(
+      runner, ShaderMode::kPixel, DataType::kFloat, wide_config);
+
+  // The sweep completed despite the faults, and the fault schedule (and
+  // hence the RunReport) is identical at any thread count.
+  EXPECT_FALSE(a.report.AllOk()) << "fault rate 0.3 should degrade "
+                                    "at least one of 32 points";
+  EXPECT_TRUE(a.report.SameOutcomes(b.report)) << "fault schedule must "
+                                                  "not depend on threads";
+  EXPECT_EQ(a.report.points.size(), clean.points.size());
+
+  // Surviving points are byte-identical between widths...
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].ratio, b.points[i].ratio);
+    EXPECT_EQ(a.points[i].m.stats, b.points[i].m.stats);
+  }
+  // ...and byte-identical to the fault-free run (faults never corrupt a
+  // measurement — a point either fails or computes the true value).
+  for (const suite::AluFetchPoint& p : a.points) {
+    bool matched = false;
+    for (const suite::AluFetchPoint& ref : clean.points) {
+      if (ref.ratio == p.ratio) {
+        EXPECT_EQ(p.m.stats, ref.m.stats);
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "no clean counterpart for ratio " << p.ratio;
+  }
+
+  // Two identical faulted runs agree exactly (fixed seed -> identical
+  // RunReports, acceptance criterion).
+  const suite::AluFetchResult again = RunAluFetch(
+      runner, ShaderMode::kPixel, DataType::kFloat, serial_config);
+  EXPECT_TRUE(a.report.SameOutcomes(again.report));
+}
+
+TEST(ExecFaultResilienceTest, HangInjectionResolvesWithoutWedgingThePool) {
+  // Every launch hangs; with the skip policy the sweep must still end,
+  // reporting every point as skipped with the timeout error.
+  const fault::ScopedFaultInjector scoped("hang:1,seed=2");
+  const GpuArch arch = MakeRV770();
+  suite::AluFetchConfig config;
+  config.domain = Domain{256, 256};
+  config.ratio_step = 2.0;  // 4 points is plenty.
+  config.retry.max_attempts = 2;
+  config.retry.backoff_base_ms = 0.0;
+  const SweepExecutor wide(4);
+  config.executor = &wide;
+
+  const suite::Runner runner(arch);
+  const suite::AluFetchResult r = RunAluFetch(
+      runner, ShaderMode::kPixel, DataType::kFloat, config);
+  EXPECT_TRUE(r.points.empty());
+  EXPECT_EQ(r.report.CountOf(exec::PointStatus::kSkipped),
+            r.report.points.size());
+  for (const exec::PointOutcome& p : r.report.points) {
+    EXPECT_NE(p.error.find("kCalTimeout"), std::string::npos) << p.error;
+  }
+  // The pool is still usable afterwards.
+  const auto out = wide.Map(8, [](std::size_t i) { return i; });
+  EXPECT_EQ(out.size(), 8u);
 }
 
 }  // namespace
