@@ -59,9 +59,12 @@ void Register() {
                                         without_2d.points[i].m.seconds);
       }
       if (with_2d.points.empty()) return 0.0;
-      g_sink.Note("4870 " + type_name + ": 2-D indexing costs 64x1 blocks "
-                  "up to " + FormatDouble(100.0 * (max_gap - 1.0), 1) +
-                  "% over a flat index");
+      if (paired > 0) {
+        g_sink.Add({report::FindingKind::kRatio, "4870 64x1 " + type_name,
+                    "two_d_index_penalty_max", max_gap, "x",
+                    "max 2D-index over flat-index time across paired input "
+                    "counts"});
+      }
       return with_2d.points.back().m.seconds;
     });
   }

@@ -48,13 +48,14 @@ void Register() {
         cmax = std::max(cmax, p.m.seconds);
       }
       if (sweep.points.empty() || control.points.empty()) return 0.0;
-      g_sink.Note(arch.name + ": register kernel improves " +
-                  FormatDouble(sweep.points.front().m.seconds /
-                                   sweep.points.back().m.seconds, 2) +
-                  "x over the sweep; control varies only " +
-                  FormatDouble(100.0 * (cmax / cmin - 1.0), 1) +
-                  "% with no trend (GPRs pinned at " +
-                  std::to_string(control.points.back().gpr_count) + ")");
+      (void)cmin;
+      (void)cmax;
+      g_sink.Add({report::FindingKind::kRatio,
+                  arch.name + " register kernel", "register_speedup",
+                  sweep.points.front().m.seconds /
+                      sweep.points.back().m.seconds,
+                  "x", "first over last sweep point"});
+      g_sink.Add(ControlFindings(control, arch.name + " clause control"));
       return control.points.back().m.seconds;
     });
   }

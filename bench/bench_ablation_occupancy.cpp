@@ -38,9 +38,10 @@ void Register() {
       }
       bench::NoteFaults(g_sink, "cap=" + std::to_string(cap), r.report);
       if (r.points.empty()) return 0.0;
-      g_sink.Note("cap=" + std::to_string(cap) + ": sweep improvement " +
-                  FormatDouble(r.points.front().m.seconds /
-                                   r.points.back().m.seconds, 2) + "x");
+      g_sink.Add({report::FindingKind::kRatio, "cap=" + std::to_string(cap),
+                  "sweep_improvement",
+                  r.points.front().m.seconds / r.points.back().m.seconds,
+                  "x", "first over last sweep point"});
       return r.points.back().m.seconds;
     });
   }

@@ -58,8 +58,9 @@ void Register() {
         if (penalty == 0) base = last;
         series.Add(static_cast<double>(penalty), last);
       }
-      g_sink.Note("4870 " + shape.name + ": " + FormatDouble(last / base, 2) +
-                  "x slower at penalty 64 vs 0");
+      g_sink.Add({report::FindingKind::kRatio, "4870 " + shape.name,
+                  "row_penalty_slowdown", last / base, "x",
+                  "time at penalty 64 over penalty 0"});
       return last;
     });
   }

@@ -3,20 +3,24 @@
 // Each bench binary reproduces one table or figure of the paper at paper
 // scale. google-benchmark times the *simulator* cost of each curve (one
 // iteration per curve — the interesting output is the figure data, not
-// wall time), and after the benchmark pass the binary prints the figure
-// as the "x  y1  y2 ..." column layout the paper's plots were drawn
-// from, plus a paper-vs-measured note block consumed by EXPERIMENTS.md.
+// wall time), and after the benchmark pass the binary assembles one
+// report::Figure record per figure (curves + typed findings + typed
+// degradations + run meta) and pushes it through the configured sinks:
+// the text sink always (the "x  y1  y2 ..." column layout the paper's
+// plots were drawn from plus a "Measured:" findings block), gnuplot /
+// JSON / CSV sinks when their output directories are set.
 //
-// Environment:
+// Environment (parsed once by common/env.hpp):
 //   AMDMB_QUICK=1        shrink domains/sweeps for smoke runs.
 //   AMDMB_THREADS=N      sweep-executor width (default: hardware
 //                        concurrency); results are identical at any N.
 //   AMDMB_DUMP_DIR=dir   write gnuplot .dat/.gp per figure.
 //   AMDMB_JSON_DIR=dir   write machine-readable BENCH_<figure>.json
-//                        per figure (curves + sim_seconds summary).
+//                        plus <figure>.csv per figure.
 //   AMDMB_FAULTS=spec    deterministic fault injection (see README);
-//                        degraded points surface as "failures" JSON
-//                        entries and "Fault annotations" note lines.
+//                        degraded points surface as typed
+//                        "degradations" JSON entries and "Fault
+//                        annotations" report lines.
 //
 // Both output directories are validated up front (created if missing,
 // probed for writability) so a bad path fails with a clear message
@@ -25,88 +29,91 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
 #include <functional>
 #include <iostream>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "amdmb.hpp"
-#include "common/bench_json.hpp"
-#include "common/gnuplot.hpp"
+#include "common/env.hpp"
 #include "exec/run_report.hpp"
+#include "report/csv_sink.hpp"
+#include "report/gnuplot_sink.hpp"
+#include "report/json_sink.hpp"
+#include "report/record.hpp"
+#include "report/text_sink.hpp"
 
 namespace amdmb::bench {
 
-inline bool QuickMode() {
-  const char* v = std::getenv("AMDMB_QUICK");
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
-}
+inline bool QuickMode() { return env::Get().quick; }
 
-/// The figure under reproduction: curves accumulate as the benchmarks
-/// run; notes carry the paper-vs-measured comparison lines.
+/// The figure under reproduction — a thin adapter over report::Figure:
+/// curves accumulate as the benchmarks run, findings carry the typed
+/// paper-vs-measured observations, degradations the non-ok sweep
+/// points. Print() finalizes the record's meta block and fans it out
+/// through the configured sinks.
 class FigureSink {
  public:
   FigureSink(std::string id, std::string title, std::string x_label,
              std::string y_label, std::string paper_claim)
-      : id_(std::move(id)),
-        claim_(std::move(paper_claim)),
-        set_(std::move(title), std::move(x_label), std::move(y_label)) {}
+      : figure_(std::move(id), std::move(title), std::move(x_label),
+                std::move(y_label), std::move(paper_claim)) {}
 
-  SeriesSet& Set() { return set_; }
+  SeriesSet& Set() { return figure_.set; }
 
-  void Note(const std::string& line) { notes_.push_back(line); }
+  /// The underlying record (curves, findings, degradations, meta).
+  report::Figure& Record() { return figure_; }
+  const report::Figure& Record() const { return figure_; }
 
-  /// Records one degraded sweep point (retried / skipped / failed).
-  /// Fault lines flow into the printed report and the JSON document's
-  /// "failures" array — emitted only when at least one point degraded.
-  void Fault(const std::string& line) { faults_.push_back(line); }
+  void Add(report::Finding finding) {
+    figure_.findings.push_back(std::move(finding));
+  }
 
-  void Print() const {
-    std::cout << "\n==== " << id_ << " ====\n";
-    std::cout << "Paper claim: " << claim_ << "\n\n";
-    std::cout << set_.RenderColumns() << "\n";
-    if (!notes_.empty()) {
-      std::cout << "Measured:\n";
-      for (const std::string& n : notes_) std::cout << "  - " << n << "\n";
+  void Add(std::vector<report::Finding> findings) {
+    for (report::Finding& f : findings) {
+      figure_.findings.push_back(std::move(f));
     }
-    if (!faults_.empty()) {
-      std::cout << "Fault annotations (degraded sweep points):\n";
-      for (const std::string& f : faults_) std::cout << "  - " << f << "\n";
+  }
+
+  void Print() {
+    report::FinalizeMeta(figure_);
+    report::TextSink(std::cout).Write(figure_);
+    const env::Options& options = env::Get();
+    if (options.dump_dir) {
+      report::GnuplotSink sink(*options.dump_dir);
+      EmitTo(sink);
     }
-    if (const char* dir = std::getenv("AMDMB_DUMP_DIR");
-        dir != nullptr && dir[0] != '\0' && !set_.All().empty()) {
-      const auto script = WriteGnuplot(set_, dir, Slug());
-      std::cout << "Gnuplot script: " << script.string() << "\n";
-    }
-    if (const char* dir = std::getenv("AMDMB_JSON_DIR");
-        dir != nullptr && dir[0] != '\0' && !set_.All().empty()) {
-      const auto json =
-          WriteBenchJson(set_, id_, claim_, notes_, dir, faults_);
-      std::cout << "JSON results: " << json.string() << "\n";
+    if (options.json_dir) {
+      report::JsonSink json(*options.json_dir);
+      EmitTo(json);
+      report::CsvSink csv(*options.json_dir);
+      EmitTo(csv);
     }
     std::cout.flush();
   }
 
   /// Filesystem-safe stem derived from the figure id ("Fig. 7 — ..."
-  /// -> "fig_7", "Figs. 11-12 — ..." -> "figs_11_12").
-  std::string Slug() const { return FigureSlug(id_); }
+  /// -> "fig_7").
+  std::string Slug() const { return figure_.Slug(); }
 
  private:
-  std::string id_;
-  std::string claim_;
-  SeriesSet set_;
-  std::vector<std::string> notes_;
-  std::vector<std::string> faults_;
+  void EmitTo(report::FileSink& sink) {
+    sink.Write(figure_);
+    for (const auto& path : sink.Written()) {
+      std::cout << sink.Label() << ": " << path.string() << "\n";
+    }
+  }
+
+  report::Figure figure_;
 };
 
-/// Copies every non-ok point of `report` into the sink's fault list,
-/// prefixed with the owning curve name.
+/// Converts every non-ok point of `report` into a typed Degradation on
+/// the sink's record, attributed to `curve`.
 inline void NoteFaults(FigureSink& sink, const std::string& curve,
                        const exec::RunReport& report) {
-  for (const std::string& line : report.FailureLines()) {
-    sink.Fault(curve + "/" + line);
+  for (report::Degradation& d : report::DegradationsFrom(report, curve)) {
+    sink.Record().degradations.push_back(std::move(d));
   }
 }
 
@@ -128,20 +135,20 @@ inline void RegisterCurveBenchmark(const std::string& name,
       ->Unit(::benchmark::kMillisecond);
 }
 
-/// Standard bench main: validate output directories, run the registered
-/// benchmarks, then print every figure sink. Returns 1 with a
-/// descriptive stderr message when an output directory is unusable —
-/// before any sweep runs, so hours of work are never silently dropped.
+/// Standard bench main: parse the environment, validate output
+/// directories, run the registered benchmarks, then print every figure
+/// sink. Returns 1 with a descriptive stderr message when a knob is
+/// malformed or an output directory is unusable — before any sweep
+/// runs, so hours of work are never silently dropped.
 inline int RunBenchMain(int argc, char** argv,
-                        const std::vector<const FigureSink*>& sinks) {
+                        const std::vector<FigureSink*>& sinks) {
   try {
-    if (const char* dir = std::getenv("AMDMB_DUMP_DIR");
-        dir != nullptr && dir[0] != '\0') {
-      EnsureWritableDirectory(dir, "AMDMB_DUMP_DIR");
+    const env::Options& options = env::Get();
+    if (options.dump_dir) {
+      report::EnsureWritableDirectory(*options.dump_dir, "AMDMB_DUMP_DIR");
     }
-    if (const char* dir = std::getenv("AMDMB_JSON_DIR");
-        dir != nullptr && dir[0] != '\0') {
-      EnsureWritableDirectory(dir, "AMDMB_JSON_DIR");
+    if (options.json_dir) {
+      report::EnsureWritableDirectory(*options.json_dir, "AMDMB_JSON_DIR");
     }
   } catch (const ConfigError& e) {
     std::cerr << "error: " << e.what() << "\n";
@@ -152,7 +159,7 @@ inline int RunBenchMain(int argc, char** argv,
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   try {
-    for (const FigureSink* sink : sinks) sink->Print();
+    for (FigureSink* sink : sinks) sink->Print();
   } catch (const std::exception& e) {
     std::cerr << "error: writing figure outputs failed: " << e.what()
               << "\n";

@@ -38,11 +38,7 @@ void Register() {
         }
         bench::NoteFaults(g_sink, key.Name(), r.report);
         if (r.points.empty()) return 0.0;
-        g_sink.Note(key.Name() + ": best block " +
-                    std::to_string(r.best.x) + "x" +
-                    std::to_string(r.best.y) + " at " +
-                    FormatDouble(r.best_seconds, 2) + " s; naive 64x1 is " +
-                    FormatDouble(r.naive_penalty, 2) + "x slower");
+        g_sink.Add(Findings(r, key.Name()));
         return r.best_seconds;
       });
     }

@@ -37,11 +37,7 @@ void Register() {
       for (const AluFetchPoint& p : r.points) series.Add(p.ratio, p.m.seconds);
       bench::NoteFaults(g_sink, key.Name(), r.report);
       if (r.points.empty()) return 0.0;
-      g_sink.Note(key.Name() + ": crossover to ALU-bound at ratio " +
-                  (r.crossover ? FormatDouble(*r.crossover, 2)
-                               : std::string("> sweep end")) +
-                  ", fetch-bound flat region " +
-                  FormatDouble(r.points.front().m.seconds, 2) + " s");
+      g_sink.Add(Findings(r, key.Name()));
       return r.points.back().m.seconds;
     });
   }

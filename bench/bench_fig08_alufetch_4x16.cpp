@@ -41,12 +41,12 @@ void Register() {
       bench::NoteFaults(g_sink, key.Name() + " 4x16", blocked.report);
       bench::NoteFaults(g_sink, key.Name() + " 64x1", naive.report);
       if (blocked.points.empty() || naive.points.empty()) return 0.0;
-      const double speedup = naive.points.front().m.seconds /
-                             blocked.points.front().m.seconds;
-      g_sink.Note(key.Name() + ": 4x16 is " + FormatDouble(speedup, 2) +
-                  "x faster than 64x1 in the fetch-bound region; crossover " +
-                  (blocked.crossover ? FormatDouble(*blocked.crossover, 2)
-                                     : std::string("> sweep end")));
+      g_sink.Add(Findings(blocked, key.Name()));
+      g_sink.Add({report::FindingKind::kRatio, key.Name(),
+                  "block_4x16_speedup",
+                  naive.points.front().m.seconds /
+                      blocked.points.front().m.seconds,
+                  "x", "4x16 over 64x1 in the fetch-bound region"});
       return blocked.points.back().m.seconds;
     });
   }

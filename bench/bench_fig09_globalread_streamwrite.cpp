@@ -44,13 +44,11 @@ void Register() {
       bench::NoteFaults(g_sink, key.Name() + " global", r.report);
       bench::NoteFaults(g_sink, key.Name() + " texture", t.report);
       if (r.points.empty() || t.points.empty()) return 0.0;
-      g_sink.Note(key.Name() + ": global-read flat region " +
-                  FormatDouble(r.points.front().m.seconds, 2) +
-                  " s vs texture-read " +
-                  FormatDouble(t.points.front().m.seconds, 2) + " s (" +
-                  FormatDouble(r.points.front().m.seconds /
-                                   t.points.front().m.seconds, 2) +
-                  "x)");
+      g_sink.Add(Findings(r, key.Name()));
+      g_sink.Add({report::FindingKind::kRatio, key.Name(),
+                  "global_vs_texture_ratio",
+                  r.points.front().m.seconds / t.points.front().m.seconds,
+                  "x", "global-read over texture-read flat-region time"});
       return r.points.back().m.seconds;
     });
   }

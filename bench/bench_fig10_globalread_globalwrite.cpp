@@ -40,17 +40,19 @@ void Register() {
       }
       bench::NoteFaults(g_sink, key.Name(), global.report);
       if (global.points.empty()) return 0.0;
+      g_sink.Add(Findings(global, key.Name()));
       if (key.mode == ShaderMode::kPixel) {
         const AluFetchResult stream = RunAluFetch(runner, key.mode, key.type,
                                                   Config(WritePath::kStream));
         bench::NoteFaults(g_sink, key.Name() + " stream", stream.report);
         if (!stream.points.empty()) {
-          g_sink.Note(
-              key.Name() + ": global-write vs stream-write delta " +
-              FormatDouble(100.0 * (global.points.front().m.seconds /
-                                        stream.points.front().m.seconds -
-                                    1.0), 1) +
-              "% in the fetch-bound region");
+          g_sink.Add({report::FindingKind::kRatio, key.Name(),
+                      "global_vs_stream_write_ratio",
+                      global.points.front().m.seconds /
+                          stream.points.front().m.seconds,
+                      "x",
+                      "global-write over stream-write in the fetch-bound "
+                      "region (paper: negligible difference)"});
         }
       }
       return global.points.back().m.seconds;

@@ -34,8 +34,7 @@ void Register() {
       }
       bench::NoteFaults(g_sink, key.Name(), r.report);
       if (r.points.empty()) return 0.0;
-      g_sink.Note(key.Name() + ": slope " + FormatDouble(r.fit.slope, 3) +
-                  " s/input, R^2 " + FormatDouble(r.fit.r2, 3));
+      g_sink.Add(Findings(r, key.Name()));
       return r.points.back().m.seconds;
     });
   }

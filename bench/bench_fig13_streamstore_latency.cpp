@@ -36,10 +36,11 @@ void Register() {
       }
       bench::NoteFaults(g_sink, key.Name(), r.report);
       if (r.points.empty()) return 0.0;
-      g_sink.Note(key.Name() + ": slope " + FormatDouble(r.fit.slope, 3) +
-                  " s/output; first point bottleneck " +
-                  std::string(sim::ToString(
-                      r.points.front().m.stats.bottleneck)));
+      std::vector<report::Finding> findings = Findings(r, key.Name());
+      findings.front().detail =
+          "first point bottleneck " +
+          std::string(sim::ToString(r.points.front().m.stats.bottleneck));
+      g_sink.Add(std::move(findings));
       return r.points.back().m.seconds;
     });
   }

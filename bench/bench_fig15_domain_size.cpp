@@ -55,14 +55,11 @@ void Register() {
             bench::NoteFaults(sink, label + " float", f.report);
             bench::NoteFaults(sink, label + " float4", f4.report);
             if (f.points.empty() || f4.points.empty()) return 0.0;
-            const double max_type_gap =
-                f4.points.back().m.seconds / f.points.back().m.seconds;
-            sink.Note(label + ": " +
-                      FormatDouble(f.points.back().m.seconds /
-                                       f.points.front().m.seconds, 2) +
-                      "x growth over the sweep; float4/float at max domain " +
-                      FormatDouble(max_type_gap, 3) +
-                      " (ALU-bound => ~1.0)");
+            sink.Add(Findings(f, label));
+            sink.Add({report::FindingKind::kRatio, label,
+                      "float4_float_max_domain_ratio",
+                      f4.points.back().m.seconds / f.points.back().m.seconds,
+                      "x", "ALU-bound => ~1.0"});
             return f.points.back().m.seconds;
           });
     }

@@ -35,16 +35,11 @@ void Register() {
       }
       bench::NoteFaults(g_sink, key.Name(), r.report);
       if (r.points.empty()) return 0.0;
-      g_sink.Note(key.Name() + ": " + std::to_string(r.points.front().gpr_count) +
-                  " GPRs -> " + FormatDouble(r.points.front().m.seconds, 2) +
-                  " s; " + std::to_string(r.points.back().gpr_count) +
-                  " GPRs -> " + FormatDouble(r.points.back().m.seconds, 2) +
-                  " s (" +
-                  FormatDouble(r.points.front().m.seconds /
-                                   r.points.back().m.seconds, 2) +
-                  "x); final bottleneck " +
-                  std::string(sim::ToString(
-                      r.points.back().m.stats.bottleneck)));
+      std::vector<report::Finding> findings = Findings(r, key.Name());
+      findings.back().detail =
+          "final bottleneck " +
+          std::string(sim::ToString(r.points.back().m.stats.bottleneck));
+      g_sink.Add(std::move(findings));
       return r.points.back().m.seconds;
     });
   }

@@ -46,9 +46,11 @@ void Register() {
                                               blocked.points[i].m.seconds);
       }
       if (blocked.points.empty()) return 0.0;
+      g_sink.Add(Findings(blocked, key.Name()));
       if (paired > 0) {
-        g_sink.Note(key.Name() + ": 4x16 beats 64x1 by at least " +
-                    FormatDouble(worst_gain, 2) + "x across the sweep");
+        g_sink.Add({report::FindingKind::kRatio, key.Name(),
+                    "block_4x16_min_gain", worst_gain, "x",
+                    "minimum 64x1/4x16 time ratio across the sweep"});
       }
       return blocked.points.back().m.seconds;
     });

@@ -17,19 +17,20 @@ void Register() {
   bench::RegisterCurveBenchmark("TableI/render", [] {
     std::cout << RenderHardwareTable() << "\n";
     for (const GpuArch& arch : AllArchs()) {
-      g_sink.Note(arch.name + ": " +
+      g_sink.Add({report::FindingKind::kPlateau, arch.name, "alu_count",
+                  static_cast<double>(arch.alu_count), "ALUs",
                   std::to_string(arch.thread_processors_per_simd) + " TPs x " +
-                  std::to_string(arch.vliw_width) + " lanes x " +
-                  std::to_string(arch.simd_engines) + " SIMDs = " +
-                  std::to_string(arch.alu_count) + " ALUs; " +
-                  std::to_string(arch.tex_units_per_simd) +
-                  " texture units/SIMD; compute shader: " +
-                  (arch.supports_compute ? "yes" : "no"));
+                      std::to_string(arch.vliw_width) + " lanes x " +
+                      std::to_string(arch.simd_engines) + " SIMDs; " +
+                      std::to_string(arch.tex_units_per_simd) +
+                      " texture units/SIMD; compute shader: " +
+                      (arch.supports_compute ? "yes" : "no")});
     }
     const GpuArch rv770 = MakeRV770();
-    g_sink.Note("RV770 occupancy check (paper Sec. II-B): 5-GPR kernel -> " +
-                std::to_string(TheoreticalWavefronts(rv770, 5)) +
-                " theoretical wavefronts (paper: 51)");
+    g_sink.Add({report::FindingKind::kPlateau, rv770.name,
+                "theoretical_wavefronts_5gpr",
+                static_cast<double>(TheoreticalWavefronts(rv770, 5)),
+                "wavefronts", "occupancy check, paper Sec. II-B (paper: 51)"});
     return 0.0;
   });
 }

@@ -18,7 +18,6 @@
 #include "arch/occupancy.hpp"     // IWYU pragma: export
 #include "cal/cal.hpp"            // IWYU pragma: export
 #include "cal/interp.hpp"         // IWYU pragma: export
-#include "common/series.hpp"      // IWYU pragma: export
 #include "common/stats.hpp"       // IWYU pragma: export
 #include "common/status.hpp"      // IWYU pragma: export
 #include "common/table.hpp"       // IWYU pragma: export
@@ -30,6 +29,8 @@
 #include "il/parser.hpp"          // IWYU pragma: export
 #include "il/printer.hpp"         // IWYU pragma: export
 #include "il/verifier.hpp"        // IWYU pragma: export
+#include "report/record.hpp"      // IWYU pragma: export
+#include "report/series.hpp"      // IWYU pragma: export
 #include "sim/gpu.hpp"            // IWYU pragma: export
 #include "sim/trace.hpp"          // IWYU pragma: export
 #include "suite/suite.hpp"        // IWYU pragma: export

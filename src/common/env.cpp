@@ -1,0 +1,73 @@
+#include "common/env.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "common/status.hpp"
+
+namespace amdmb::env {
+
+namespace {
+
+/// Absurdly-large worker counts are almost certainly typos (or integer
+/// garbage), not intent; reject them instead of spawning thousands of
+/// threads.
+constexpr unsigned long kMaxThreads = 4096;
+
+std::optional<std::string> NonEmpty(const char* v) {
+  if (v == nullptr || v[0] == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+}  // namespace
+
+unsigned ParseThreadCount(std::string_view text) {
+  unsigned long n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), n);
+  Require(ec == std::errc() && ptr == text.data() + text.size(),
+          "AMDMB_THREADS='" + std::string(text) +
+              "': must be a positive integer");
+  Require(n >= 1, "AMDMB_THREADS='" + std::string(text) +
+                      "': needs at least one worker");
+  Require(n <= kMaxThreads,
+          "AMDMB_THREADS='" + std::string(text) + "': exceeds the cap of " +
+              std::to_string(kMaxThreads) + " workers");
+  return static_cast<unsigned>(n);
+}
+
+std::uint64_t ParseWatchdogCycles(std::string_view text) {
+  std::uint64_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), n);
+  Require(ec == std::errc() && ptr == text.data() + text.size(),
+          "AMDMB_WATCHDOG='" + std::string(text) +
+              "': must be a cycle count (non-negative integer)");
+  return n;
+}
+
+Options ParseFrom(const std::function<const char*(const char*)>& lookup) {
+  Options options;
+  if (const auto v = NonEmpty(lookup("AMDMB_QUICK"))) {
+    options.quick = (*v)[0] != '0';
+  }
+  if (const auto v = NonEmpty(lookup("AMDMB_THREADS"))) {
+    options.threads = ParseThreadCount(*v);
+  }
+  options.json_dir = NonEmpty(lookup("AMDMB_JSON_DIR"));
+  options.dump_dir = NonEmpty(lookup("AMDMB_DUMP_DIR"));
+  options.faults = NonEmpty(lookup("AMDMB_FAULTS"));
+  options.retry = NonEmpty(lookup("AMDMB_RETRY"));
+  if (const auto v = NonEmpty(lookup("AMDMB_WATCHDOG"))) {
+    options.watchdog_cycles = ParseWatchdogCycles(*v);
+  }
+  return options;
+}
+
+const Options& Get() {
+  static const Options options =
+      ParseFrom([](const char* name) { return std::getenv(name); });
+  return options;
+}
+
+}  // namespace amdmb::env

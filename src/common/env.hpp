@@ -1,0 +1,59 @@
+// Centralized AMDMB_* environment handling.
+//
+// Every knob the suite reads from the environment is parsed and
+// validated here, exactly once, with one descriptive-error path: a
+// malformed value throws ConfigError naming the offending variable
+// before any sweep runs. Downstream modules (exec, fault, sim, bench)
+// consult the cached snapshot instead of scattering getenv calls.
+//
+// Knobs:
+//   AMDMB_QUICK      smoke-scale domains/sweeps ("1" on, "0"/unset off).
+//   AMDMB_THREADS    sweep-executor width, integer in [1, 4096].
+//   AMDMB_JSON_DIR   machine-readable BENCH_<figure>.json output dir.
+//   AMDMB_DUMP_DIR   gnuplot .dat/.gp output dir.
+//   AMDMB_FAULTS     fault-injection spec (parsed by fault::FaultSpec).
+//   AMDMB_RETRY      retry-policy spec (parsed by exec::RetryPolicy).
+//   AMDMB_WATCHDOG   per-launch cycle budget, non-negative integer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace amdmb::env {
+
+/// Parsed snapshot of every AMDMB_* knob. Scalar knobs are validated at
+/// parse time; the fault/retry specs stay raw here (their grammar lives
+/// in fault::FaultSpec::Parse and exec::RetryPolicy::Parse, which the
+/// owning modules invoke on these strings).
+struct Options {
+  bool quick = false;
+  std::optional<unsigned> threads;       ///< AMDMB_THREADS, [1, 4096].
+  std::optional<std::string> json_dir;   ///< AMDMB_JSON_DIR.
+  std::optional<std::string> dump_dir;   ///< AMDMB_DUMP_DIR.
+  std::optional<std::string> faults;     ///< AMDMB_FAULTS, raw spec.
+  std::optional<std::string> retry;      ///< AMDMB_RETRY, raw spec.
+  std::uint64_t watchdog_cycles = 0;     ///< AMDMB_WATCHDOG, 0 = unlimited.
+};
+
+/// Worker-count grammar shared by AMDMB_THREADS and explicit configs:
+/// a positive integer no larger than 4096. Throws ConfigError.
+unsigned ParseThreadCount(std::string_view text);
+
+/// AMDMB_WATCHDOG grammar: a non-negative cycle count. Throws
+/// ConfigError.
+std::uint64_t ParseWatchdogCycles(std::string_view text);
+
+/// Pure parser behind Get(): `lookup` plays the role of getenv (returns
+/// nullptr when a variable is unset; empty strings count as unset, the
+/// historical behaviour of every knob). Exposed for tests.
+Options ParseFrom(const std::function<const char*(const char*)>& lookup);
+
+/// The process snapshot, parsed and validated from the real environment
+/// once on first use. Throws ConfigError on the first call if any knob
+/// is malformed.
+const Options& Get();
+
+}  // namespace amdmb::env

@@ -1,9 +1,9 @@
 #include "exec/run_report.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <sstream>
 
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 
@@ -144,9 +144,8 @@ RetryPolicy RetryPolicy::Parse(std::string_view text) {
 
 const RetryPolicy& RetryPolicy::FromEnv() {
   static const RetryPolicy policy = [] {
-    const char* v = std::getenv("AMDMB_RETRY");
-    if (v == nullptr || v[0] == '\0') return RetryPolicy{};
-    return Parse(v);
+    const auto& spec = env::Get().retry;
+    return spec ? Parse(*spec) : RetryPolicy{};
   }();
   return policy;
 }

@@ -1,9 +1,8 @@
 #include "exec/thread_pool.hpp"
 
-#include <charconv>
-#include <cstdlib>
 #include <string>
 
+#include "common/env.hpp"
 #include "common/status.hpp"
 
 namespace amdmb::exec {
@@ -12,33 +11,10 @@ namespace {
 
 thread_local bool tls_on_pool_thread = false;
 
-/// Absurdly-large worker counts are almost certainly typos (or integer
-/// garbage), not intent; reject them instead of spawning thousands of
-/// threads.
-constexpr unsigned long kMaxThreads = 4096;
-
 }  // namespace
 
-unsigned ParseThreadCount(std::string_view text) {
-  unsigned long n = 0;
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), n);
-  Require(ec == std::errc() && ptr == text.data() + text.size(),
-          "AMDMB_THREADS='" + std::string(text) +
-              "': must be a positive integer");
-  Require(n >= 1, "AMDMB_THREADS='" + std::string(text) +
-                      "': needs at least one worker");
-  Require(n <= kMaxThreads,
-          "AMDMB_THREADS='" + std::string(text) + "': exceeds the cap of " +
-              std::to_string(kMaxThreads) + " workers");
-  return static_cast<unsigned>(n);
-}
-
 unsigned DefaultThreadCount() {
-  if (const char* v = std::getenv("AMDMB_THREADS");
-      v != nullptr && v[0] != '\0') {
-    return ParseThreadCount(v);
-  }
+  if (const auto threads = env::Get().threads) return *threads;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }

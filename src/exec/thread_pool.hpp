@@ -17,14 +17,9 @@
 
 namespace amdmb::exec {
 
-/// Strictly parses an AMDMB_THREADS value: the whole string must be a
-/// decimal integer in [1, 4096]. Throws ConfigError (with the offending
-/// value) for non-numeric, negative, zero, or overflowing input —
-/// garbage is rejected, never silently clamped.
-unsigned ParseThreadCount(std::string_view text);
-
-/// Thread count from AMDMB_THREADS (validated via ParseThreadCount),
-/// else the hardware concurrency, else 1.
+/// Thread count from AMDMB_THREADS (validated once by env::Get(), which
+/// rejects anything outside [1, 4096] with a ConfigError), else the
+/// hardware concurrency, else 1.
 unsigned DefaultThreadCount();
 
 /// True while the calling thread is one of a ThreadPool's workers. Used

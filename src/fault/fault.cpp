@@ -1,8 +1,8 @@
 #include "fault/fault.hpp"
 
-#include <cstdlib>
 #include <mutex>
 
+#include "common/env.hpp"
 #include "common/status.hpp"
 
 namespace amdmb::fault {
@@ -138,9 +138,9 @@ FaultStats FaultInjector::Stats() const {
 const FaultInjector* GlobalInjector() {
   if (g_override_active) return g_override;
   static const FaultInjector* env_injector = []() -> const FaultInjector* {
-    const char* v = std::getenv("AMDMB_FAULTS");
-    if (v == nullptr || v[0] == '\0') return nullptr;
-    static const FaultInjector injector{FaultSpec::Parse(v)};
+    const auto& spec = env::Get().faults;
+    if (!spec) return nullptr;
+    static const FaultInjector injector{FaultSpec::Parse(*spec)};
     return &injector;
   }();
   return env_injector;

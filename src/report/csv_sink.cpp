@@ -1,0 +1,23 @@
+#include "report/csv_sink.hpp"
+
+#include <fstream>
+
+#include "common/status.hpp"
+
+namespace amdmb::report {
+
+std::string CsvText(const Figure& figure) { return figure.set.RenderCsv(); }
+
+std::filesystem::path WriteCsv(const Figure& figure,
+                               const std::filesystem::path& directory) {
+  EnsureWritableDirectory(directory, "WriteCsv output directory");
+
+  const std::filesystem::path file = directory / (figure.Slug() + ".csv");
+  std::ofstream out(file);
+  Require(out.good(), "WriteCsv: cannot open " + file.string());
+  out << CsvText(figure);
+  Require(out.good(), "WriteCsv: write failed for " + file.string());
+  return file;
+}
+
+}  // namespace amdmb::report

@@ -1,0 +1,39 @@
+// CSV emission for reproduced figures.
+//
+// One `<slug>.csv` per figure, written next to the BENCH_<slug>.json
+// document when AMDMB_JSON_DIR is set: the same x/curve grid as the
+// stdout column block, but comma-separated and unpadded so spreadsheet
+// tools ingest it directly.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "report/sink.hpp"
+
+namespace amdmb::report {
+
+/// The figure's curve grid as CSV text (title comment line, header row,
+/// one row per x value; blank cells where a curve lacks that x).
+std::string CsvText(const Figure& figure);
+
+/// Writes `<slug>.csv` under `directory` (created if missing) and
+/// returns the file path. Throws ConfigError on I/O failure.
+std::filesystem::path WriteCsv(const Figure& figure,
+                               const std::filesystem::path& directory);
+
+class CsvSink : public FileSink {
+ public:
+  using FileSink::FileSink;
+
+  std::string_view Label() const override { return "CSV results"; }
+
+  void Write(const Figure& figure) override {
+    written_.clear();
+    if (figure.set.All().empty()) return;
+    written_.push_back(WriteCsv(figure, directory_));
+  }
+};
+
+}  // namespace amdmb::report

@@ -1,9 +1,8 @@
-#include "common/gnuplot.hpp"
+#include "report/gnuplot_sink.hpp"
 
 #include <fstream>
 #include <sstream>
 
-#include "common/bench_json.hpp"
 #include "common/status.hpp"
 
 namespace amdmb {
@@ -32,7 +31,7 @@ std::string GnuplotScript(const SeriesSet& set, const std::string& dat_file,
 std::filesystem::path WriteGnuplot(const SeriesSet& set,
                                    const std::filesystem::path& directory,
                                    const std::string& stem) {
-  EnsureWritableDirectory(directory, "WriteGnuplot output directory");
+  report::EnsureWritableDirectory(directory, "WriteGnuplot output directory");
 
   const std::filesystem::path dat = directory / (stem + ".dat");
   const std::filesystem::path gp = directory / (stem + ".gp");

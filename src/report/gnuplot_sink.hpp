@@ -3,13 +3,15 @@
 // The paper's plots are classic gnuplot line charts; given a SeriesSet
 // this module writes the `.dat` column file plus a ready-to-run `.gp`
 // script so `gnuplot fig07.gp` regenerates the figure as SVG. The bench
-// binaries call this when AMDMB_DUMP_DIR is set.
+// harness drives it through GnuplotSink when AMDMB_DUMP_DIR is set.
 #pragma once
 
 #include <filesystem>
 #include <string>
+#include <string_view>
 
-#include "common/series.hpp"
+#include "report/series.hpp"
+#include "report/sink.hpp"
 
 namespace amdmb {
 
@@ -23,5 +25,22 @@ std::filesystem::path WriteGnuplot(const SeriesSet& set,
 /// The script text alone (for tests and embedding).
 std::string GnuplotScript(const SeriesSet& set, const std::string& dat_file,
                           const std::string& output_file);
+
+namespace report {
+
+class GnuplotSink : public FileSink {
+ public:
+  using FileSink::FileSink;
+
+  std::string_view Label() const override { return "Gnuplot script"; }
+
+  void Write(const Figure& figure) override {
+    written_.clear();
+    if (figure.set.All().empty()) return;
+    written_.push_back(WriteGnuplot(figure.set, directory_, figure.Slug()));
+  }
+};
+
+}  // namespace report
 
 }  // namespace amdmb

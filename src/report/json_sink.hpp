@@ -1,0 +1,59 @@
+// Machine-readable figure records: the BENCH_<figure>.json writer.
+//
+// Mirrors the HPC-benchmark report layout referenced in SNIPPETS.md:
+// every figure dumps one JSON document with its provenance (schema
+// version + meta block), each curve's raw sweep points (x, simulated
+// seconds), per-curve summary statistics, and the typed findings and
+// degradations of the run. The bench binaries write
+// `BENCH_<figure>.json` when AMDMB_JSON_DIR is set; report/load.hpp
+// reads the documents back for the amdmb_report aggregator.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "report/sink.hpp"
+
+namespace amdmb::report {
+
+/// Filesystem-safe stem derived from a figure id. Lower-cases
+/// alphanumerics, collapses every other character run to one underscore,
+/// and stops at the em-dash separating a *numbered* id from its title —
+/// so "Fig. 7 — ALU:Fetch" -> "fig_7" and "Figs. 11-12 — Read latency"
+/// -> "figs_11_12", while unnumbered ids keep their full text
+/// ("Ablation — Clause Usage Control" ->
+/// "ablation_clause_usage_control") so distinct figures never share a
+/// slug.
+std::string FigureSlug(std::string_view id);
+
+/// The figure record as schema-v2 JSON text. Keys of the v1 layout
+/// (figure, title, paper_claim, notes, curves) keep their shape;
+/// schema_version, meta, and findings are additive, and the typed
+/// "degradations" array is only emitted when at least one point
+/// degraded — so fault-free documents only gain the new keys.
+std::string BenchJson(const Figure& figure);
+
+/// Writes `BENCH_<slug>.json` under `directory` (created if missing)
+/// and returns the file path. Throws ConfigError on I/O failure.
+std::filesystem::path WriteBenchJson(const Figure& figure,
+                                     const std::filesystem::path& directory);
+
+class JsonSink : public FileSink {
+ public:
+  using FileSink::FileSink;
+
+  std::string_view Label() const override { return "JSON results"; }
+
+  void Write(const Figure& figure) override {
+    written_.clear();
+    // Curve-less figures (Table I) still carry findings worth merging.
+    if (figure.set.All().empty() && figure.findings.empty() &&
+        figure.degradations.empty()) {
+      return;
+    }
+    written_.push_back(WriteBenchJson(figure, directory_));
+  }
+};
+
+}  // namespace amdmb::report

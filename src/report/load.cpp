@@ -1,0 +1,160 @@
+#include "report/load.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.hpp"
+#include "report/json.hpp"
+#include "report/json_sink.hpp"
+
+namespace amdmb::report {
+
+namespace {
+
+std::vector<std::string> StringList(const JsonValue* value) {
+  std::vector<std::string> out;
+  if (value == nullptr) return out;
+  for (const JsonValue& item : value->AsArray()) {
+    out.push_back(item.AsString());
+  }
+  return out;
+}
+
+RunMeta MetaFrom(const JsonValue& doc) {
+  RunMeta meta;
+  const JsonValue* m = doc.Find("meta");
+  if (m == nullptr) return meta;
+  meta.suite_version = m->StringOr("suite_version", "unknown");
+  meta.threads = static_cast<unsigned>(m->NumberOr("threads", 1.0));
+  meta.quick = m->BoolOr("quick", false);
+  meta.faults = m->StringOr("faults", "");
+  meta.retry = m->StringOr("retry", "");
+  meta.watchdog_cycles =
+      static_cast<std::uint64_t>(m->NumberOr("watchdog_cycles", 0.0));
+  meta.archs = StringList(m->Find("archs"));
+  meta.modes = StringList(m->Find("modes"));
+  return meta;
+}
+
+std::vector<Finding> FindingsFrom(const JsonValue& doc) {
+  std::vector<Finding> out;
+  const JsonValue* list = doc.Find("findings");
+  if (list == nullptr) return out;
+  for (const JsonValue& item : list->AsArray()) {
+    const auto kind = FindingKindFromString(item.StringOr("kind", ""));
+    if (!kind.has_value()) continue;  // A newer writer's kind; skip.
+    Finding f;
+    f.kind = *kind;
+    f.curve = item.StringOr("curve", "");
+    f.label = item.StringOr("label", "");
+    if (const JsonValue* v = item.Find("value");
+        v != nullptr && v->type() == JsonValue::Type::kNumber) {
+      f.value = v->AsNumber();
+    }
+    f.unit = item.StringOr("unit", "");
+    f.detail = item.StringOr("detail", "");
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<Degradation> DegradationsFrom(const JsonValue& doc) {
+  std::vector<Degradation> out;
+  const JsonValue* list = doc.Find("degradations");
+  if (list == nullptr) return out;
+  for (const JsonValue& item : list->AsArray()) {
+    Degradation d;
+    d.curve = item.StringOr("curve", "");
+    d.point = item.StringOr("point", "");
+    d.status = item.StringOr("status", "");
+    d.attempts = static_cast<unsigned>(item.NumberOr("attempts", 1.0));
+    d.error = item.StringOr("error", "");
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<LoadedCurve> CurvesFrom(const JsonValue& doc) {
+  std::vector<LoadedCurve> out;
+  const JsonValue* list = doc.Find("curves");
+  if (list == nullptr) return out;
+  for (const JsonValue& item : list->AsArray()) {
+    LoadedCurve curve;
+    curve.name = item.StringOr("name", "");
+    if (const JsonValue* points = item.Find("points")) {
+      for (const JsonValue& p : points->AsArray()) {
+        curve.points.push_back(
+            {p.NumberOr("x", 0.0), p.NumberOr("sim_seconds", 0.0)});
+      }
+    }
+    curve.median = item.NumberOr("sim_seconds_median", 0.0);
+    curve.min = item.NumberOr("sim_seconds_min", 0.0);
+    curve.max = item.NumberOr("sim_seconds_max", 0.0);
+    out.push_back(std::move(curve));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string LoadedFigure::Slug() const { return FigureSlug(id); }
+
+LoadedFigure LoadFigureJson(std::string_view text,
+                            std::filesystem::path source) {
+  const JsonValue doc = JsonValue::Parse(text);
+  const JsonValue* figure_id = doc.Find("figure");
+  Require(figure_id != nullptr,
+          "LoadFigureJson: missing \"figure\" key" +
+              (source.empty() ? std::string()
+                              : " in " + source.string()));
+
+  LoadedFigure figure;
+  figure.source = std::move(source);
+  figure.id = figure_id->AsString();
+  figure.title = doc.StringOr("title", "");
+  figure.paper_claim = doc.StringOr("paper_claim", "");
+  figure.schema_version =
+      static_cast<int>(doc.NumberOr("schema_version", 1.0));
+  figure.meta = MetaFrom(doc);
+  figure.notes = StringList(doc.Find("notes"));
+  figure.findings = FindingsFrom(doc);
+  figure.degradations = DegradationsFrom(doc);
+  figure.curves = CurvesFrom(doc);
+  return figure;
+}
+
+std::vector<LoadedFigure> LoadFigureDirectory(
+    const std::filesystem::path& directory) {
+  Require(std::filesystem::is_directory(directory),
+          "LoadFigureDirectory: '" + directory.string() +
+              "' is not a directory");
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<LoadedFigure> figures;
+  figures.reserve(files.size());
+  for (const std::filesystem::path& file : files) {
+    std::ifstream in(file);
+    Require(in.good(), "LoadFigureDirectory: cannot open " + file.string());
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      figures.push_back(LoadFigureJson(text.str(), file));
+    } catch (const ConfigError& e) {
+      throw ConfigError(file.string() + ": " + e.what());
+    }
+  }
+  return figures;
+}
+
+}  // namespace amdmb::report

@@ -1,0 +1,59 @@
+// Reading BENCH_<figure>.json documents back into typed records.
+//
+// The inverse of report/json_sink.hpp, used by the amdmb_report
+// aggregator: parse one document (or every BENCH_*.json in a results
+// directory) into LoadedFigure records so cross-figure summaries and
+// paper-expectation checks work on typed data — no regex scraping.
+// Understands both schema v1 (pre-report-layer: no schema_version /
+// meta / findings keys) and v2 documents.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/record.hpp"
+
+namespace amdmb::report {
+
+/// One curve as stored in the document: raw points plus the summary
+/// statistics the writer derived from them.
+struct LoadedCurve {
+  std::string name;
+  std::vector<Point> points;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One parsed BENCH_*.json document.
+struct LoadedFigure {
+  std::filesystem::path source;  ///< File it came from ("" when from text).
+  std::string id;
+  std::string title;
+  std::string paper_claim;
+  int schema_version = 1;  ///< 1 when the document predates the key.
+  RunMeta meta;            ///< Default-constructed for v1 documents.
+  std::vector<std::string> notes;
+  std::vector<Finding> findings;
+  std::vector<Degradation> degradations;
+  std::vector<LoadedCurve> curves;
+
+  /// Filesystem-safe stem derived from the id; see FigureSlug.
+  std::string Slug() const;
+};
+
+/// Parses one document. Throws ConfigError on malformed JSON or a
+/// document missing the required "figure" key. Findings with a kind
+/// this reader does not know are skipped (forward compatibility).
+LoadedFigure LoadFigureJson(std::string_view text,
+                            std::filesystem::path source = {});
+
+/// Loads every BENCH_*.json in `directory`, sorted by filename for
+/// deterministic aggregation order. Throws ConfigError when the
+/// directory does not exist or any document fails to parse.
+std::vector<LoadedFigure> LoadFigureDirectory(
+    const std::filesystem::path& directory);
+
+}  // namespace amdmb::report

@@ -1,0 +1,128 @@
+#include "report/record.hpp"
+
+#include <sstream>
+
+#include "arch/gpu_arch.hpp"
+#include "common/env.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+#include "exec/run_report.hpp"
+#include "exec/thread_pool.hpp"
+#include "report/json_sink.hpp"
+
+namespace amdmb::report {
+
+std::string_view ToString(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kCrossover: return "crossover";
+    case FindingKind::kSlope: return "slope";
+    case FindingKind::kPlateau: return "plateau";
+    case FindingKind::kRatio: return "ratio";
+  }
+  throw SimError("ToString(FindingKind): unknown value");
+}
+
+std::optional<FindingKind> FindingKindFromString(std::string_view name) {
+  if (name == "crossover") return FindingKind::kCrossover;
+  if (name == "slope") return FindingKind::kSlope;
+  if (name == "plateau") return FindingKind::kPlateau;
+  if (name == "ratio") return FindingKind::kRatio;
+  return std::nullopt;
+}
+
+std::string Finding::Render() const {
+  std::ostringstream os;
+  if (!curve.empty()) os << curve << ": ";
+  os << label << " ";
+  if (value.has_value()) {
+    os << "= " << FormatDouble(*value, 3);
+    if (!unit.empty()) os << " " << unit;
+  } else {
+    os << "not reached within the sweep";
+  }
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+const Finding* FindFinding(const std::vector<Finding>& findings,
+                           std::string_view label, std::string_view curve) {
+  for (const Finding& f : findings) {
+    if (f.label != label) continue;
+    if (!curve.empty() && f.curve != curve) continue;
+    return &f;
+  }
+  return nullptr;
+}
+
+std::string Degradation::Render() const {
+  std::ostringstream os;
+  os << curve << "/" << point << ": " << status << ", " << attempts
+     << " attempt" << (attempts == 1 ? "" : "s");
+  if (!error.empty()) os << " — " << error;
+  return os.str();
+}
+
+std::vector<Degradation> DegradationsFrom(const exec::RunReport& run,
+                                          const std::string& curve) {
+  std::vector<Degradation> out;
+  for (const exec::PointOutcome& p : run.points) {
+    if (p.status == exec::PointStatus::kOk) continue;
+    Degradation d;
+    d.curve = curve;
+    d.point = p.label.empty() ? "point " + std::to_string(p.index) : p.label;
+    d.status = std::string(exec::ToString(p.status));
+    d.attempts = p.attempts;
+    d.error = p.error;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+RunMeta CollectRunMeta() {
+  RunMeta meta;
+#ifdef AMDMB_GIT_DESCRIBE
+  meta.suite_version = AMDMB_GIT_DESCRIBE;
+#else
+  meta.suite_version = "unknown";
+#endif
+  const env::Options& options = env::Get();
+  meta.threads = exec::DefaultThreadCount();
+  meta.quick = options.quick;
+  meta.faults = options.faults.value_or("");
+  meta.retry = options.retry.value_or("");
+  meta.watchdog_cycles = options.watchdog_cycles;
+  return meta;
+}
+
+std::string Figure::Slug() const { return FigureSlug(id); }
+
+void FinalizeMeta(Figure& figure) {
+  RunMeta meta = CollectRunMeta();
+  // The legend names carry the GPU generation ("4870 Pixel Float") and
+  // the shader mode; collect whichever of the known archs/modes appear.
+  for (const GpuArch& arch : AllArchs()) {
+    std::string card = arch.card;  // "Radeon HD 4870" -> "4870".
+    if (const auto pos = card.rfind(' '); pos != std::string::npos) {
+      card = card.substr(pos + 1);
+    }
+    for (const Curve& curve : figure.set.All()) {
+      if (curve.Name().find(card) != std::string::npos) {
+        meta.archs.push_back(arch.name + " (" + card + ")");
+        break;
+      }
+    }
+  }
+  for (const std::string_view mode : {"Pixel", "Compute"}) {
+    for (const Curve& curve : figure.set.All()) {
+      if (curve.Name().find(mode) != std::string::npos) {
+        std::string lower(mode);
+        lower[0] = static_cast<char>(lower[0] - 'A' + 'a');
+        meta.modes.push_back(lower);
+        break;
+      }
+    }
+  }
+  figure.meta = std::move(meta);
+}
+
+}  // namespace amdmb::report

@@ -1,4 +1,4 @@
-#include "common/series.hpp"
+#include "report/series.hpp"
 
 #include <algorithm>
 #include <iomanip>

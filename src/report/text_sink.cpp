@@ -1,0 +1,23 @@
+#include "report/text_sink.hpp"
+
+namespace amdmb::report {
+
+void TextSink::Write(const Figure& figure) {
+  os_ << "\n==== " << figure.id << " ====\n";
+  os_ << "Paper claim: " << figure.paper_claim << "\n\n";
+  os_ << figure.set.RenderColumns() << "\n";
+  if (!figure.findings.empty()) {
+    os_ << "Measured:\n";
+    for (const Finding& f : figure.findings) {
+      os_ << "  - " << f.Render() << "\n";
+    }
+  }
+  if (!figure.degradations.empty()) {
+    os_ << "Fault annotations (degraded sweep points):\n";
+    for (const Degradation& d : figure.degradations) {
+      os_ << "  - " << d.Render() << "\n";
+    }
+  }
+}
+
+}  // namespace amdmb::report

@@ -1,0 +1,25 @@
+// Human-readable stdout report for one figure.
+//
+// Reproduces the pre-report-layer block byte for byte: figure banner,
+// paper claim, the "x  y1  y2 ..." column grid, a "Measured:" list
+// rendered from the typed findings, and — only when points degraded —
+// a "Fault annotations" list rendered from the typed degradations.
+#pragma once
+
+#include <iostream>
+
+#include "report/sink.hpp"
+
+namespace amdmb::report {
+
+class TextSink : public Sink {
+ public:
+  explicit TextSink(std::ostream& os = std::cout) : os_(os) {}
+
+  void Write(const Figure& figure) override;
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace amdmb::report

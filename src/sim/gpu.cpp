@@ -1,12 +1,11 @@
 #include "sim/gpu.hpp"
 
 #include <algorithm>
-#include <charconv>
-#include <cstdlib>
 #include <queue>
 #include <sstream>
 
 #include "arch/occupancy.hpp"
+#include "common/env.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
 #include "sim/simd_engine.hpp"
@@ -31,19 +30,7 @@ WatchdogTimeout::WatchdogTimeout(Cycles budget, Cycles reached)
       reached_(reached) {}
 
 Cycles DefaultWatchdogCycles() {
-  static const Cycles cycles = [] {
-    const char* v = std::getenv("AMDMB_WATCHDOG");
-    if (v == nullptr || v[0] == '\0') return Cycles{0};
-    std::uint64_t n = 0;
-    const std::string_view text(v);
-    const auto [ptr, ec] =
-        std::from_chars(text.data(), text.data() + text.size(), n);
-    Require(ec == std::errc() && ptr == text.data() + text.size(),
-            "AMDMB_WATCHDOG='" + std::string(text) +
-                "': must be a cycle count (non-negative integer)");
-    return Cycles{n};
-  }();
-  return cycles;
+  return Cycles{env::Get().watchdog_cycles};
 }
 
 Gpu::Gpu(GpuArch arch)

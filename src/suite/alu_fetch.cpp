@@ -78,4 +78,19 @@ SeriesSet AluFetchFigure(const std::vector<CurveKey>& curves,
   return figure;
 }
 
+std::vector<report::Finding> Findings(const AluFetchResult& result,
+                                      const std::string& curve) {
+  std::vector<report::Finding> findings;
+  if (result.points.empty()) return findings;
+  findings.push_back({report::FindingKind::kCrossover, curve,
+                      "alu_bound_crossover", result.crossover, "ratio", ""});
+  findings.push_back({report::FindingKind::kPlateau, curve,
+                      "fetch_bound_flat_seconds",
+                      result.points.front().m.seconds, "s", ""});
+  findings.push_back({report::FindingKind::kPlateau, curve,
+                      "max_ratio_seconds", result.points.back().m.seconds,
+                      "s", ""});
+  return findings;
+}
+
 }  // namespace amdmb::suite

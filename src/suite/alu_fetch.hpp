@@ -11,7 +11,8 @@
 #include <optional>
 #include <vector>
 
-#include "common/series.hpp"
+#include "report/record.hpp"
+#include "report/series.hpp"
 #include "suite/microbench.hpp"
 
 namespace amdmb::suite {
@@ -50,6 +51,13 @@ struct AluFetchResult {
 
 AluFetchResult RunAluFetch(const Runner& runner, ShaderMode mode,
                            DataType type, const AluFetchConfig& config);
+
+/// Typed findings of one sweep, attributed to `curve`: the
+/// "alu_bound_crossover" (censored when the flip never happens within
+/// the sweep) plus the flat-region and max-ratio plateau levels.
+/// Empty when the sweep produced no points.
+std::vector<report::Finding> Findings(const AluFetchResult& result,
+                                      const std::string& curve);
 
 /// Runs the sweep for every curve in `curves` and assembles the figure.
 SeriesSet AluFetchFigure(const std::vector<CurveKey>& curves,

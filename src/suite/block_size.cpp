@@ -99,4 +99,17 @@ SeriesSet BlockSizeFigure(const BlockSizeConfig& config,
   return figure;
 }
 
+std::vector<report::Finding> Findings(const BlockSizeResult& result,
+                                      const std::string& curve) {
+  std::vector<report::Finding> findings;
+  if (result.points.empty()) return findings;
+  findings.push_back({report::FindingKind::kPlateau, curve, "best_seconds",
+                      result.best_seconds, "s",
+                      "best block " + std::to_string(result.best.x) + "x" +
+                          std::to_string(result.best.y)});
+  findings.push_back({report::FindingKind::kRatio, curve, "naive_penalty",
+                      result.naive_penalty, "x", ""});
+  return findings;
+}
+
 }  // namespace amdmb::suite

@@ -12,7 +12,8 @@
 
 #include <vector>
 
-#include "common/series.hpp"
+#include "report/record.hpp"
+#include "report/series.hpp"
 #include "suite/microbench.hpp"
 
 namespace amdmb::suite {
@@ -50,6 +51,13 @@ std::vector<BlockShape> WavefrontBlockShapes(unsigned wavefront_size);
 
 BlockSizeResult RunBlockSizeExplorer(const Runner& runner,
                                      const BlockSizeConfig& config);
+
+/// Typed findings of one exploration, attributed to `curve`:
+/// "best_seconds" (detail names the winning WxH shape) and
+/// "naive_penalty" (64x1 slowdown over the best shape). Empty when the
+/// exploration produced no points.
+std::vector<report::Finding> Findings(const BlockSizeResult& result,
+                                      const std::string& curve);
 
 /// Figure: one curve per GPU (compute-capable), x = log2(block width).
 SeriesSet BlockSizeFigure(const BlockSizeConfig& config,

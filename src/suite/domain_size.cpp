@@ -77,4 +77,18 @@ SeriesSet DomainSizeFigure(ShaderMode mode, DataType type,
   return figure;
 }
 
+std::vector<report::Finding> Findings(const DomainSizeResult& result,
+                                      const std::string& curve) {
+  std::vector<report::Finding> findings;
+  if (result.points.empty()) return findings;
+  findings.push_back({report::FindingKind::kRatio, curve, "sweep_growth",
+                      result.points.back().m.seconds /
+                          result.points.front().m.seconds,
+                      "x", ""});
+  findings.push_back({report::FindingKind::kPlateau, curve,
+                      "max_domain_seconds", result.points.back().m.seconds,
+                      "s", ""});
+  return findings;
+}
+
 }  // namespace amdmb::suite

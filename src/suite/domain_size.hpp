@@ -9,7 +9,8 @@
 
 #include <vector>
 
-#include "common/series.hpp"
+#include "report/record.hpp"
+#include "report/series.hpp"
 #include "suite/microbench.hpp"
 
 namespace amdmb::suite {
@@ -42,6 +43,12 @@ struct DomainSizeResult {
 
 DomainSizeResult RunDomainSize(const Runner& runner, ShaderMode mode,
                                DataType type, const DomainSizeConfig& config);
+
+/// Typed findings of one sweep, attributed to `curve`: "sweep_growth"
+/// (largest over smallest domain time) and "max_domain_seconds". Empty
+/// when the sweep produced no points.
+std::vector<report::Finding> Findings(const DomainSizeResult& result,
+                                      const std::string& curve);
 
 /// Fig. 15a/b layout: one curve per GPU for the given mode.
 SeriesSet DomainSizeFigure(ShaderMode mode, DataType type,

@@ -77,4 +77,12 @@ SeriesSet ReadLatencyFigure(const std::vector<CurveKey>& curves,
   return figure;
 }
 
+std::vector<report::Finding> Findings(const ReadLatencyResult& result,
+                                      const std::string& curve) {
+  return {{report::FindingKind::kSlope, curve, "seconds_per_input",
+           result.fit.slope, "s/input", ""},
+          {report::FindingKind::kRatio, curve, "fit_r2", result.fit.r2, "",
+           ""}};
+}
+
 }  // namespace amdmb::suite

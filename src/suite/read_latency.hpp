@@ -8,8 +8,9 @@
 
 #include <vector>
 
-#include "common/series.hpp"
 #include "common/stats.hpp"
+#include "report/record.hpp"
+#include "report/series.hpp"
 #include "suite/microbench.hpp"
 
 namespace amdmb::suite {
@@ -42,6 +43,12 @@ struct ReadLatencyResult {
 ReadLatencyResult RunReadLatency(const Runner& runner, ShaderMode mode,
                                  DataType type,
                                  const ReadLatencyConfig& config);
+
+/// Typed findings of one sweep, attributed to `curve`: the fitted
+/// "seconds_per_input" slope and its "fit_r2" quality. Emitted even for
+/// an empty sweep (zeros), so faulted runs stay deterministic.
+std::vector<report::Finding> Findings(const ReadLatencyResult& result,
+                                      const std::string& curve);
 
 SeriesSet ReadLatencyFigure(const std::vector<CurveKey>& curves,
                             const ReadLatencyConfig& config,

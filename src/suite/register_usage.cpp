@@ -72,4 +72,37 @@ SeriesSet RegisterUsageFigure(const std::vector<CurveKey>& curves,
   return figure;
 }
 
+std::vector<report::Finding> Findings(const RegisterUsageResult& result,
+                                      const std::string& curve) {
+  std::vector<report::Finding> findings;
+  if (result.points.empty()) return findings;
+  const RegisterUsagePoint& first = result.points.front();
+  const RegisterUsagePoint& last = result.points.back();
+  findings.push_back({report::FindingKind::kPlateau, curve, "gpr_max",
+                      static_cast<double>(first.gpr_count), "GPRs", ""});
+  findings.push_back({report::FindingKind::kPlateau, curve,
+                      "gpr_max_seconds", first.m.seconds, "s", ""});
+  findings.push_back({report::FindingKind::kPlateau, curve, "gpr_min",
+                      static_cast<double>(last.gpr_count), "GPRs", ""});
+  findings.push_back({report::FindingKind::kPlateau, curve,
+                      "gpr_min_seconds", last.m.seconds, "s", ""});
+  findings.push_back({report::FindingKind::kRatio, curve, "register_speedup",
+                      first.m.seconds / last.m.seconds, "x", ""});
+  return findings;
+}
+
+std::vector<report::Finding> ControlFindings(
+    const RegisterUsageResult& control, const std::string& curve) {
+  if (control.points.empty()) return {};
+  double cmin = control.points.front().m.seconds;
+  double cmax = cmin;
+  for (const RegisterUsagePoint& p : control.points) {
+    cmin = std::min(cmin, p.m.seconds);
+    cmax = std::max(cmax, p.m.seconds);
+  }
+  return {{report::FindingKind::kRatio, curve, "level_variation",
+           (cmax - cmin) / cmax, "",
+           "pinned-GPR control spread; flat when < 0.2"}};
+}
+
 }  // namespace amdmb::suite

@@ -12,7 +12,8 @@
 
 #include <vector>
 
-#include "common/series.hpp"
+#include "report/record.hpp"
+#include "report/series.hpp"
 #include "suite/kernelgen.hpp"
 #include "suite/microbench.hpp"
 
@@ -51,6 +52,20 @@ struct RegisterUsageResult {
 RegisterUsageResult RunRegisterUsage(const Runner& runner, ShaderMode mode,
                                      DataType type,
                                      const RegisterUsageConfig& config);
+
+/// Typed findings of one register-pressure sweep, attributed to `curve`:
+/// the GPR/time endpoints ("gpr_max", "gpr_max_seconds", "gpr_min",
+/// "gpr_min_seconds") and the "register_speedup" ratio between them.
+/// Empty when the sweep produced no points.
+std::vector<report::Finding> Findings(const RegisterUsageResult& result,
+                                      const std::string& curve);
+
+/// Typed finding of a clause-control sweep (clause_control = true):
+/// "level_variation", the (max - min) / max spread of the pinned-GPR
+/// control's times — flat (< 0.2) when the Fig. 16 speedup really comes
+/// from register pressure. Empty when the sweep produced no points.
+std::vector<report::Finding> ControlFindings(
+    const RegisterUsageResult& control, const std::string& curve);
 
 SeriesSet RegisterUsageFigure(const std::vector<CurveKey>& curves,
                               const RegisterUsageConfig& config,

@@ -1,10 +1,10 @@
 #include "suite/suite.hpp"
 
-#include <algorithm>
 #include <sstream>
 
 #include "common/table.hpp"
 #include "exec/sweep_executor.hpp"
+#include "report/record.hpp"
 
 namespace amdmb::suite {
 
@@ -15,20 +15,26 @@ std::vector<GpuArch> SelectArchs(const SuiteOptions& options) {
   return {ArchByName(options.arch_filter)};
 }
 
-/// One curve's table row plus any fault annotations from its sweeps.
+/// One curve's table row plus any degradations from its sweeps.
 struct CurveRow {
   std::vector<std::string> row;
-  std::vector<std::string> faults;
+  std::vector<report::Degradation> degradations;
 };
 
-/// Fault lines of `report`, each prefixed with the owning curve name.
-std::vector<std::string> PrefixedFaults(const exec::RunReport& report,
-                                        const std::string& curve) {
-  std::vector<std::string> lines;
-  for (const std::string& line : report.FailureLines()) {
-    lines.push_back(curve + "/" + line);
-  }
-  return lines;
+/// Table cell for a finding's value: fixed-precision number, ">sweep"
+/// for a censored crossover, "n/a" when the finding is absent (the
+/// sweep produced no points).
+std::string Cell(const report::Finding* finding, int precision,
+                 const char* censored = "n/a") {
+  if (finding == nullptr) return "n/a";
+  if (!finding->value.has_value()) return censored;
+  return FormatDouble(*finding->value, precision);
+}
+
+/// Integer-valued cell (GPR counts).
+std::string IntCell(const report::Finding* finding) {
+  if (finding == nullptr || !finding->value.has_value()) return "n/a";
+  return std::to_string(static_cast<unsigned>(*finding->value));
 }
 
 }  // namespace
@@ -46,7 +52,7 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
   // Non-ok sweep points across every section; printed as a trailing
   // "Fault annotations" block only when at least one point degraded, so
   // a fault-free run renders byte-identically to earlier releases.
-  std::vector<std::string> fault_lines;
+  std::vector<report::Degradation> degradations;
 
   os << RenderHardwareTable() << "\n";
 
@@ -65,19 +71,27 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
           const Runner runner(key.arch);
           const AluFetchResult r =
               RunAluFetch(runner, key.mode, key.type, config);
+          const auto findings = Findings(r, key.Name());
           CurveRow out;
-          out.faults = PrefixedFaults(r.report, key.Name());
-          const bool any = !r.points.empty();
+          out.degradations = report::DegradationsFrom(r.report, key.Name());
           out.row = {key.Name(),
-                     r.crossover ? FormatDouble(*r.crossover, 2) : ">sweep",
-                     any ? FormatDouble(r.points.front().m.seconds, 2) : "n/a",
-                     any ? FormatDouble(r.points.back().m.seconds, 2) : "n/a"};
+                     Cell(report::FindFinding(findings,
+                                              "alu_bound_crossover"),
+                          2, ">sweep"),
+                     Cell(report::FindFinding(findings,
+                                              "fetch_bound_flat_seconds"),
+                          2),
+                     Cell(report::FindFinding(findings, "max_ratio_seconds"),
+                          2)};
+          // An empty sweep has no crossover finding at all; the legacy
+          // report still printed ">sweep" for that column.
+          if (findings.empty()) out.row[1] = ">sweep";
           return out;
         });
     for (const CurveRow& cr : rows) {
       table.AddRow(cr.row);
-      fault_lines.insert(fault_lines.end(), cr.faults.begin(),
-                         cr.faults.end());
+      degradations.insert(degradations.end(), cr.degradations.begin(),
+                          cr.degradations.end());
     }
     os << "ALU:Fetch ratio micro-benchmark (paper Fig. 7)\n"
        << "Paper claim: float crosses to ALU-bound far earlier than float4; "
@@ -101,17 +115,21 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
             const Runner runner(key.arch);
             const ReadLatencyResult r =
                 RunReadLatency(runner, key.mode, key.type, config);
+            const auto findings = Findings(r, key.Name());
             CurveRow out;
-            out.faults = PrefixedFaults(r.report, key.Name());
+            out.degradations =
+                report::DegradationsFrom(r.report, key.Name());
             out.row = {key.Name(), std::string(ToString(path)),
-                       FormatDouble(r.fit.slope, 3),
-                       FormatDouble(r.fit.r2, 3)};
+                       Cell(report::FindFinding(findings,
+                                                "seconds_per_input"),
+                            3),
+                       Cell(report::FindFinding(findings, "fit_r2"), 3)};
             return out;
           });
       for (const CurveRow& cr : rows) {
         table.AddRow(cr.row);
-        fault_lines.insert(fault_lines.end(), cr.faults.begin(),
-                           cr.faults.end());
+        degradations.insert(degradations.end(), cr.degradations.begin(),
+                            cr.degradations.end());
       }
     }
     os << "Read latency micro-benchmarks (paper Figs. 11-12)\n"
@@ -144,17 +162,21 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
             const Runner runner(key.arch);
             const WriteLatencyResult r =
                 RunWriteLatency(runner, key.mode, key.type, config);
+            const auto findings = Findings(r, key.Name());
             CurveRow out;
-            out.faults = PrefixedFaults(r.report, key.Name());
+            out.degradations =
+                report::DegradationsFrom(r.report, key.Name());
             out.row = {key.Name(), std::string(ToString(path)),
-                       FormatDouble(r.fit.slope, 3),
-                       FormatDouble(r.fit.r2, 3)};
+                       Cell(report::FindFinding(findings,
+                                                "seconds_per_output"),
+                            3),
+                       Cell(report::FindFinding(findings, "fit_r2"), 3)};
             return out;
           });
       for (const CurveRow& cr : rows) {
         table.AddRow(cr.row);
-        fault_lines.insert(fault_lines.end(), cr.faults.begin(),
-                           cr.faults.end());
+        degradations.insert(degradations.end(), cr.degradations.begin(),
+                            cr.degradations.end());
       }
     }
     os << "Write latency micro-benchmarks (paper Figs. 13-14)\n"
@@ -184,36 +206,35 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
           control_config.max_step = config.max_step;
           const RegisterUsageResult control =
               RunRegisterUsage(runner, key.mode, key.type, control_config);
+          const auto findings = Findings(sweep, key.Name());
+          const auto control_findings =
+              ControlFindings(control, key.Name() + " control");
           CurveRow out;
-          out.faults = PrefixedFaults(sweep.report, key.Name());
-          const auto control_faults =
-              PrefixedFaults(control.report, key.Name() + " control");
-          out.faults.insert(out.faults.end(), control_faults.begin(),
-                            control_faults.end());
+          out.degradations =
+              report::DegradationsFrom(sweep.report, key.Name());
+          const auto control_degradations = report::DegradationsFrom(
+              control.report, key.Name() + " control");
+          out.degradations.insert(out.degradations.end(),
+                                  control_degradations.begin(),
+                                  control_degradations.end());
           std::string flat = "n/a";
-          if (!control.points.empty()) {
-            double cmin = control.points.front().m.seconds;
-            double cmax = cmin;
-            for (const RegisterUsagePoint& p : control.points) {
-              cmin = std::min(cmin, p.m.seconds);
-              cmax = std::max(cmax, p.m.seconds);
-            }
-            flat = (cmax - cmin) / cmax < 0.2 ? "yes" : "NO";
+          if (const report::Finding* variation =
+                  report::FindFinding(control_findings, "level_variation")) {
+            flat = *variation->value < 0.2 ? "yes" : "NO";
           }
-          const bool any = !sweep.points.empty();
           out.row = {
               key.Name(),
-              any ? std::to_string(sweep.points.front().gpr_count) : "n/a",
-              any ? FormatDouble(sweep.points.front().m.seconds, 2) : "n/a",
-              any ? std::to_string(sweep.points.back().gpr_count) : "n/a",
-              any ? FormatDouble(sweep.points.back().m.seconds, 2) : "n/a",
+              IntCell(report::FindFinding(findings, "gpr_max")),
+              Cell(report::FindFinding(findings, "gpr_max_seconds"), 2),
+              IntCell(report::FindFinding(findings, "gpr_min")),
+              Cell(report::FindFinding(findings, "gpr_min_seconds"), 2),
               flat};
           return out;
         });
     for (const CurveRow& cr : rows) {
       table.AddRow(cr.row);
-      fault_lines.insert(fault_lines.end(), cr.faults.begin(),
-                         cr.faults.end());
+      degradations.insert(degradations.end(), cr.degradations.begin(),
+                          cr.degradations.end());
     }
     os << "Register usage micro-benchmark (paper Fig. 16 + Fig. 5 control)\n"
        << "Paper claim: lowering register pressure raises occupancy and "
@@ -222,10 +243,10 @@ std::string RunFullSuiteReport(const SuiteOptions& options) {
        << table.Render() << "\n";
   }
 
-  if (!fault_lines.empty()) {
+  if (!degradations.empty()) {
     os << "Fault annotations (degraded sweep points)\n";
-    for (const std::string& line : fault_lines) {
-      os << "  " << line << "\n";
+    for (const report::Degradation& d : degradations) {
+      os << "  " << d.Render() << "\n";
     }
     os << "\n";
   }

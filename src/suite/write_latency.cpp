@@ -79,4 +79,12 @@ SeriesSet WriteLatencyFigure(const std::vector<CurveKey>& curves,
   return figure;
 }
 
+std::vector<report::Finding> Findings(const WriteLatencyResult& result,
+                                      const std::string& curve) {
+  return {{report::FindingKind::kSlope, curve, "seconds_per_output",
+           result.fit.slope, "s/output", ""},
+          {report::FindingKind::kRatio, curve, "fit_r2", result.fit.r2, "",
+           ""}};
+}
+
 }  // namespace amdmb::suite

@@ -10,8 +10,9 @@
 
 #include <vector>
 
-#include "common/series.hpp"
 #include "common/stats.hpp"
+#include "report/record.hpp"
+#include "report/series.hpp"
 #include "suite/microbench.hpp"
 
 namespace amdmb::suite {
@@ -46,6 +47,12 @@ struct WriteLatencyResult {
 WriteLatencyResult RunWriteLatency(const Runner& runner, ShaderMode mode,
                                    DataType type,
                                    const WriteLatencyConfig& config);
+
+/// Typed findings of one sweep, attributed to `curve`: the fitted
+/// "seconds_per_output" slope and its "fit_r2" quality. Emitted even
+/// for an empty sweep (zeros), so faulted runs stay deterministic.
+std::vector<report::Finding> Findings(const WriteLatencyResult& result,
+                                      const std::string& curve);
 
 SeriesSet WriteLatencyFigure(const std::vector<CurveKey>& curves,
                              const WriteLatencyConfig& config,

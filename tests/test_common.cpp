@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
-#include "common/series.hpp"
+#include "report/series.hpp"
 #include "common/stats.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"

@@ -1,0 +1,115 @@
+// Tests for the centralized AMDMB_* environment handling.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/status.hpp"
+
+namespace amdmb {
+namespace {
+
+/// Fake getenv backed by a map; missing names return nullptr like the
+/// real thing.
+class FakeEnv {
+ public:
+  FakeEnv(std::initializer_list<std::pair<const std::string, std::string>>
+              values)
+      : values_(values) {}
+
+  env::Options Parse() const {
+    return env::ParseFrom([this](const char* name) -> const char* {
+      const auto it = values_.find(name);
+      return it == values_.end() ? nullptr : it->second.c_str();
+    });
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+TEST(EnvTest, AllKnobsUnsetYieldsDefaults) {
+  const env::Options o = FakeEnv({}).Parse();
+  EXPECT_FALSE(o.quick);
+  EXPECT_FALSE(o.threads.has_value());
+  EXPECT_FALSE(o.json_dir.has_value());
+  EXPECT_FALSE(o.dump_dir.has_value());
+  EXPECT_FALSE(o.faults.has_value());
+  EXPECT_FALSE(o.retry.has_value());
+  EXPECT_EQ(o.watchdog_cycles, 0u);
+}
+
+TEST(EnvTest, ParsesEveryKnob) {
+  const env::Options o = FakeEnv({{"AMDMB_QUICK", "1"},
+                                  {"AMDMB_THREADS", "8"},
+                                  {"AMDMB_JSON_DIR", "/tmp/json"},
+                                  {"AMDMB_DUMP_DIR", "/tmp/plots"},
+                                  {"AMDMB_FAULTS", "compile:p=0.5:seed=7"},
+                                  {"AMDMB_RETRY", "attempts=3"},
+                                  {"AMDMB_WATCHDOG", "1000000"}})
+                             .Parse();
+  EXPECT_TRUE(o.quick);
+  EXPECT_EQ(o.threads, 8u);
+  EXPECT_EQ(o.json_dir, "/tmp/json");
+  EXPECT_EQ(o.dump_dir, "/tmp/plots");
+  EXPECT_EQ(o.faults, "compile:p=0.5:seed=7");
+  EXPECT_EQ(o.retry, "attempts=3");
+  EXPECT_EQ(o.watchdog_cycles, 1000000u);
+}
+
+TEST(EnvTest, QuickZeroMeansOff) {
+  EXPECT_FALSE(FakeEnv({{"AMDMB_QUICK", "0"}}).Parse().quick);
+  EXPECT_TRUE(FakeEnv({{"AMDMB_QUICK", "1"}}).Parse().quick);
+  // Historical behaviour: any non-"0" first character enables it.
+  EXPECT_TRUE(FakeEnv({{"AMDMB_QUICK", "yes"}}).Parse().quick);
+}
+
+TEST(EnvTest, EmptyStringsCountAsUnset) {
+  const env::Options o = FakeEnv({{"AMDMB_QUICK", ""},
+                                  {"AMDMB_THREADS", ""},
+                                  {"AMDMB_JSON_DIR", ""},
+                                  {"AMDMB_FAULTS", ""},
+                                  {"AMDMB_WATCHDOG", ""}})
+                             .Parse();
+  EXPECT_FALSE(o.quick);
+  EXPECT_FALSE(o.threads.has_value());
+  EXPECT_FALSE(o.json_dir.has_value());
+  EXPECT_FALSE(o.faults.has_value());
+  EXPECT_EQ(o.watchdog_cycles, 0u);
+}
+
+TEST(EnvTest, MalformedKnobsThrowNamingTheVariable) {
+  try {
+    FakeEnv({{"AMDMB_THREADS", "abc"}}).Parse();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("AMDMB_THREADS"),
+              std::string::npos);
+  }
+  try {
+    FakeEnv({{"AMDMB_WATCHDOG", "-1"}}).Parse();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("AMDMB_WATCHDOG"),
+              std::string::npos);
+  }
+}
+
+TEST(EnvTest, WatchdogRejectsNonNumeric) {
+  EXPECT_THROW(env::ParseWatchdogCycles("fast"), ConfigError);
+  EXPECT_THROW(env::ParseWatchdogCycles("12x"), ConfigError);
+  EXPECT_EQ(env::ParseWatchdogCycles("0"), 0u);
+  EXPECT_EQ(env::ParseWatchdogCycles("4000000000"), 4000000000u);
+}
+
+TEST(EnvTest, GetIsStableAcrossCalls) {
+  // Get() snapshots the process environment once; repeated calls return
+  // the same object (the old per-site static caching, centralized).
+  const env::Options& a = env::Get();
+  const env::Options& b = env::Get();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace amdmb

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
 #include "exec/kernel_cache.hpp"
 #include "exec/run_report.hpp"
 #include "exec/sweep_executor.hpp"
@@ -279,20 +280,20 @@ TEST(RetryPolicyTest, ParsesSpecAndRejectsGarbage) {
 // ---- AMDMB_THREADS validation ------------------------------------------
 
 TEST(ParseThreadCountTest, AcceptsPositiveIntegers) {
-  EXPECT_EQ(exec::ParseThreadCount("1"), 1u);
-  EXPECT_EQ(exec::ParseThreadCount("16"), 16u);
-  EXPECT_EQ(exec::ParseThreadCount("4096"), 4096u);
+  EXPECT_EQ(env::ParseThreadCount("1"), 1u);
+  EXPECT_EQ(env::ParseThreadCount("16"), 16u);
+  EXPECT_EQ(env::ParseThreadCount("4096"), 4096u);
 }
 
 TEST(ParseThreadCountTest, RejectsInvalidValues) {
-  EXPECT_THROW(exec::ParseThreadCount(""), ConfigError);
-  EXPECT_THROW(exec::ParseThreadCount("abc"), ConfigError);
-  EXPECT_THROW(exec::ParseThreadCount("4x"), ConfigError);
-  EXPECT_THROW(exec::ParseThreadCount("-2"), ConfigError);
-  EXPECT_THROW(exec::ParseThreadCount("0"), ConfigError);
-  EXPECT_THROW(exec::ParseThreadCount("4097"), ConfigError);
-  EXPECT_THROW(exec::ParseThreadCount("99999999999999999999"), ConfigError);
-  EXPECT_THROW(exec::ParseThreadCount(" 4"), ConfigError);
+  EXPECT_THROW(env::ParseThreadCount(""), ConfigError);
+  EXPECT_THROW(env::ParseThreadCount("abc"), ConfigError);
+  EXPECT_THROW(env::ParseThreadCount("4x"), ConfigError);
+  EXPECT_THROW(env::ParseThreadCount("-2"), ConfigError);
+  EXPECT_THROW(env::ParseThreadCount("0"), ConfigError);
+  EXPECT_THROW(env::ParseThreadCount("4097"), ConfigError);
+  EXPECT_THROW(env::ParseThreadCount("99999999999999999999"), ConfigError);
+  EXPECT_THROW(env::ParseThreadCount(" 4"), ConfigError);
 }
 
 // ---- KernelCache -------------------------------------------------------

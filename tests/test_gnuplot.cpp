@@ -5,7 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
-#include "common/gnuplot.hpp"
+#include "report/gnuplot_sink.hpp"
 
 namespace amdmb {
 namespace {
