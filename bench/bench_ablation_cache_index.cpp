@@ -43,8 +43,12 @@ void Register() {
       Series& s2 = g_sink.Set().Get("4870 64x1 " + type_name + " flat-index");
       bench::NoteFaults(g_sink, "4870 " + type_name + " 2D-index",
                         with_2d.report);
+      bench::NoteProfiles(g_sink, "4870 " + type_name + " 2D-index",
+                          with_2d.points);
       bench::NoteFaults(g_sink, "4870 " + type_name + " flat-index",
                         without_2d.report);
+      bench::NoteProfiles(g_sink, "4870 " + type_name + " flat-index",
+                          without_2d.points);
       double max_gap = 0;
       const std::size_t paired =
           std::min(with_2d.points.size(), without_2d.points.size());

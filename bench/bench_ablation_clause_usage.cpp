@@ -36,8 +36,12 @@ void Register() {
       Series& s2 = g_sink.Set().Get(arch.name + " clause control");
       bench::NoteFaults(g_sink, arch.name + " register kernel",
                         sweep.report);
+      bench::NoteProfiles(g_sink, arch.name + " register kernel",
+                          sweep.points);
       bench::NoteFaults(g_sink, arch.name + " clause control",
                         control.report);
+      bench::NoteProfiles(g_sink, arch.name + " clause control",
+                          control.points);
       double cmin = 1e30, cmax = 0;
       for (const RegisterUsagePoint& p : sweep.points) {
         s1.Add(p.step, p.m.seconds);

@@ -37,6 +37,7 @@ void Register() {
         series.Add(p.gpr_count, p.m.seconds);
       }
       bench::NoteFaults(g_sink, "cap=" + std::to_string(cap), r.report);
+      bench::NoteProfiles(g_sink, "cap=" + std::to_string(cap), r.points);
       if (r.points.empty()) return 0.0;
       g_sink.Add({report::FindingKind::kRatio, "cap=" + std::to_string(cap),
                   "sweep_improvement",

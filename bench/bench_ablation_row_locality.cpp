@@ -19,8 +19,8 @@ FigureSink g_sink(
     "Pixel-mode 8x8 tiles keep fills row-local; 64x1 compute blocks "
     "degrade fastest as the penalty grows.");
 
-double FetchBoundSeconds(const GpuArch& arch, ShaderMode mode,
-                         BlockShape block) {
+Measurement FetchBound(const GpuArch& arch, ShaderMode mode,
+                       BlockShape block) {
   Runner runner(arch);
   GenericSpec spec;
   spec.inputs = 16;
@@ -32,7 +32,7 @@ double FetchBoundSeconds(const GpuArch& arch, ShaderMode mode,
   launch.domain = bench::QuickMode() ? Domain{256, 256} : Domain{1024, 1024};
   launch.mode = mode;
   launch.block = block;
-  return runner.Measure(GenerateGeneric(spec), launch).seconds;
+  return runner.Measure(GenerateGeneric(spec), launch);
 }
 
 void Register() {
@@ -54,9 +54,15 @@ void Register() {
       for (const Cycles penalty : {0u, 8u, 16u, 32u, 64u}) {
         GpuArch arch = MakeRV770();
         arch.dram.row_switch_cycles = penalty;
-        last = FetchBoundSeconds(arch, shape.mode, shape.block);
+        const Measurement m = FetchBound(arch, shape.mode, shape.block);
+        last = m.seconds;
         if (penalty == 0) base = last;
         series.Add(static_cast<double>(penalty), last);
+        if (m.profile != nullptr) {
+          g_sink.Record().profiles.push_back(report::MakeProfileEntry(
+              "4870 " + shape.name, *m.profile,
+              sim::ToString(m.stats.bottleneck)));
+        }
       }
       g_sink.Add({report::FindingKind::kRatio, "4870 " + shape.name,
                   "row_penalty_slowdown", last / base, "x",

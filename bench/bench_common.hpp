@@ -117,6 +117,22 @@ inline void NoteFaults(FigureSink& sink, const std::string& curve,
   }
 }
 
+/// Converts every profiled point of a sweep into a typed ProfileEntry
+/// on the sink's record, attributed to `curve` and cross-checked
+/// against the heuristic classification of the same launch. A no-op
+/// when profiling was off (every Measurement::profile is null), so
+/// unprofiled bench output is byte-identical to before the profiler.
+template <typename Points>
+inline void NoteProfiles(FigureSink& sink, const std::string& curve,
+                         const Points& points) {
+  for (const auto& point : points) {
+    if (point.m.profile == nullptr) continue;
+    sink.Record().profiles.push_back(report::MakeProfileEntry(
+        curve, *point.m.profile,
+        sim::ToString(point.m.stats.bottleneck)));
+  }
+}
+
 /// Registers one google-benchmark that runs `body` once and records the
 /// simulated seconds it reports as the "sim_seconds" counter.
 inline void RegisterCurveBenchmark(const std::string& name,
@@ -149,6 +165,9 @@ inline int RunBenchMain(int argc, char** argv,
     }
     if (options.json_dir) {
       report::EnsureWritableDirectory(*options.json_dir, "AMDMB_JSON_DIR");
+    }
+    if (options.trace_dir) {
+      report::EnsureWritableDirectory(*options.trace_dir, "AMDMB_TRACE_DIR");
     }
   } catch (const ConfigError& e) {
     std::cerr << "error: " << e.what() << "\n";

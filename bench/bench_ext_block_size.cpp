@@ -37,6 +37,7 @@ void Register() {
                      p.m.seconds);
         }
         bench::NoteFaults(g_sink, key.Name(), r.report);
+        bench::NoteProfiles(g_sink, key.Name(), r.points);
         if (r.points.empty()) return 0.0;
         g_sink.Add(Findings(r, key.Name()));
         return r.best_seconds;

@@ -36,6 +36,7 @@ void Register() {
       Series& series = g_sink.Set().Get(key.Name());
       for (const AluFetchPoint& p : r.points) series.Add(p.ratio, p.m.seconds);
       bench::NoteFaults(g_sink, key.Name(), r.report);
+      bench::NoteProfiles(g_sink, key.Name(), r.points);
       if (r.points.empty()) return 0.0;
       g_sink.Add(Findings(r, key.Name()));
       return r.points.back().m.seconds;

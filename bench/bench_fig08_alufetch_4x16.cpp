@@ -39,7 +39,9 @@ void Register() {
         series.Add(p.ratio, p.m.seconds);
       }
       bench::NoteFaults(g_sink, key.Name() + " 4x16", blocked.report);
+      bench::NoteProfiles(g_sink, key.Name() + " 4x16", blocked.points);
       bench::NoteFaults(g_sink, key.Name() + " 64x1", naive.report);
+      bench::NoteProfiles(g_sink, key.Name() + " 64x1", naive.points);
       if (blocked.points.empty() || naive.points.empty()) return 0.0;
       g_sink.Add(Findings(blocked, key.Name()));
       g_sink.Add({report::FindingKind::kRatio, key.Name(),

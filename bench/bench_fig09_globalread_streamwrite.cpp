@@ -42,7 +42,9 @@ void Register() {
       Series& series = g_sink.Set().Get(key.Name());
       for (const AluFetchPoint& p : r.points) series.Add(p.ratio, p.m.seconds);
       bench::NoteFaults(g_sink, key.Name() + " global", r.report);
+      bench::NoteProfiles(g_sink, key.Name() + " global", r.points);
       bench::NoteFaults(g_sink, key.Name() + " texture", t.report);
+      bench::NoteProfiles(g_sink, key.Name() + " texture", t.points);
       if (r.points.empty() || t.points.empty()) return 0.0;
       g_sink.Add(Findings(r, key.Name()));
       g_sink.Add({report::FindingKind::kRatio, key.Name(),

@@ -39,12 +39,14 @@ void Register() {
         series.Add(p.ratio, p.m.seconds);
       }
       bench::NoteFaults(g_sink, key.Name(), global.report);
+      bench::NoteProfiles(g_sink, key.Name(), global.points);
       if (global.points.empty()) return 0.0;
       g_sink.Add(Findings(global, key.Name()));
       if (key.mode == ShaderMode::kPixel) {
         const AluFetchResult stream = RunAluFetch(runner, key.mode, key.type,
                                                   Config(WritePath::kStream));
         bench::NoteFaults(g_sink, key.Name() + " stream", stream.report);
+        bench::NoteProfiles(g_sink, key.Name() + " stream", stream.points);
         if (!stream.points.empty()) {
           g_sink.Add({report::FindingKind::kRatio, key.Name(),
                       "global_vs_stream_write_ratio",

@@ -32,6 +32,7 @@ void Register() {
         series.Add(p.inputs, p.m.seconds);
       }
       bench::NoteFaults(g_sink, key.Name(), r.report);
+      bench::NoteProfiles(g_sink, key.Name(), r.points);
       if (r.points.empty()) return 0.0;
       g_sink.Add(Findings(r, key.Name()));
       return r.points.back().m.seconds;

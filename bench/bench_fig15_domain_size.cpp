@@ -53,7 +53,9 @@ void Register() {
               series.Add(p.size, p.m.seconds);
             }
             bench::NoteFaults(sink, label + " float", f.report);
+            bench::NoteProfiles(sink, label + " float", f.points);
             bench::NoteFaults(sink, label + " float4", f4.report);
+            bench::NoteProfiles(sink, label + " float4", f4.points);
             if (f.points.empty() || f4.points.empty()) return 0.0;
             sink.Add(Findings(f, label));
             sink.Add({report::FindingKind::kRatio, label,

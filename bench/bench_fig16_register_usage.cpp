@@ -34,6 +34,7 @@ void Register() {
         series.Add(p.gpr_count, p.m.seconds);
       }
       bench::NoteFaults(g_sink, key.Name(), r.report);
+      bench::NoteProfiles(g_sink, key.Name(), r.points);
       if (r.points.empty()) return 0.0;
       std::vector<report::Finding> findings = Findings(r, key.Name());
       findings.back().detail =

@@ -34,7 +34,9 @@ void Register() {
           runner, key.mode, key.type, Config(BlockShape{64, 1}));
       Series& series = g_sink.Set().Get(key.Name());
       bench::NoteFaults(g_sink, key.Name() + " 4x16", blocked.report);
+      bench::NoteProfiles(g_sink, key.Name() + " 4x16", blocked.points);
       bench::NoteFaults(g_sink, key.Name() + " 64x1", naive.report);
+      bench::NoteProfiles(g_sink, key.Name() + " 64x1", naive.points);
       double worst_gain = 1e9;
       const std::size_t paired =
           std::min(blocked.points.size(), naive.points.size());

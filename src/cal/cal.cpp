@@ -1,5 +1,7 @@
 #include "cal/cal.hpp"
 
+#include "prof/collector.hpp"
+
 namespace amdmb::cal {
 
 Device Device::Open(std::string_view name) {
@@ -28,15 +30,34 @@ RunEvent Context::Run(const Module& module, const sim::LaunchConfig& config,
   if (bounded.watchdog_cycles == 0) {
     bounded.watchdog_cycles = sim::DefaultWatchdogCycles();
   }
+  // A fresh collector per call: a retried attempt starts from zeroed
+  // counters, so retries can never double-count.
+  std::unique_ptr<prof::Collector> collector;
+  if (bounded.profile || prof::ProfilingEnabled()) {
+    collector = std::make_unique<prof::Collector>(sim::DefaultTraceCapacity());
+  }
   RunEvent event;
   try {
-    event.stats = gpu_->Execute(module.Program(), bounded, trace);
+    event.stats =
+        gpu_->Execute(module.Program(), bounded, trace, collector.get());
   } catch (const sim::WatchdogTimeout& e) {
     throw CalError(CalResult::kCalTimeout, "launch", std::string(point),
                    call.attempt, e.what());
   }
   CheckInjectedFault(fault::FaultSite::kReadback, point, call.attempt);
   event.seconds = event.stats.seconds;
+  if (collector != nullptr) {
+    prof::Profile profile = collector->Take();
+    profile.kernel = module.Program().name;
+    profile.point = point.empty() ? module.Program().name
+                                  : std::string(point);
+    profile.arch = gpu_->Arch().name;
+    profile.mode = ToString(bounded.mode);
+    profile.type = ToString(module.Program().sig.type);
+    profile.attempt = call.attempt;
+    event.profile =
+        std::make_shared<const prof::Profile>(std::move(profile));
+  }
   return event;
 }
 

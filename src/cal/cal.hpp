@@ -20,6 +20,7 @@
 #include "compiler/compiler.hpp"
 #include "compiler/ska.hpp"
 #include "il/il.hpp"
+#include "prof/profile.hpp"
 #include "sim/gpu.hpp"
 #include "sim/trace.hpp"
 
@@ -65,10 +66,15 @@ class Module {
 };
 
 /// Result of a kernel run: the timer value the paper reports (seconds for
-/// all repetitions) plus the simulator's dynamic counters.
+/// all repetitions) plus the simulator's dynamic counters — and, when the
+/// launch was profiled (LaunchConfig::profile or AMDMB_PROF), the
+/// hardware-counter profile read back alongside the timer.
 struct RunEvent {
   double seconds = 0.0;
   sim::KernelStats stats;
+  /// Null unless the launch was profiled. Shared (not copied) because
+  /// the profile carries the capped event stream.
+  std::shared_ptr<const prof::Profile> profile;
 };
 
 class Context {
@@ -81,7 +87,10 @@ class Context {
   Module Compile(const il::Kernel& kernel, const CallContext& call = {}) const;
 
   /// Launches the module over the configured domain and reads the timer.
-  /// When `trace` is non-null, every executed clause is recorded.
+  /// When `trace` is non-null, every executed clause is recorded. When
+  /// profiling is requested (config.profile or AMDMB_PROF) a
+  /// prof::Collector rides the launch and RunEvent::profile is filled;
+  /// a fresh collector per call means retried points never double-count.
   /// Consults the fault injector at the launch / hang / readback
   /// boundaries, and bounds the launch with `config.watchdog_cycles`
   /// (falling back to AMDMB_WATCHDOG): failures surface as CalError with

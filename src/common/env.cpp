@@ -46,6 +46,16 @@ std::uint64_t ParseWatchdogCycles(std::string_view text) {
   return n;
 }
 
+std::size_t ParseTraceCapacity(std::string_view text) {
+  std::uint64_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), n);
+  Require(ec == std::errc() && ptr == text.data() + text.size() && n >= 1,
+          "AMDMB_TRACE_CAP='" + std::string(text) +
+              "': must be a positive event count");
+  return static_cast<std::size_t>(n);
+}
+
 Options ParseFrom(const std::function<const char*(const char*)>& lookup) {
   Options options;
   if (const auto v = NonEmpty(lookup("AMDMB_QUICK"))) {
@@ -60,6 +70,13 @@ Options ParseFrom(const std::function<const char*(const char*)>& lookup) {
   options.retry = NonEmpty(lookup("AMDMB_RETRY"));
   if (const auto v = NonEmpty(lookup("AMDMB_WATCHDOG"))) {
     options.watchdog_cycles = ParseWatchdogCycles(*v);
+  }
+  if (const auto v = NonEmpty(lookup("AMDMB_PROF"))) {
+    options.prof = (*v)[0] != '0';
+  }
+  options.trace_dir = NonEmpty(lookup("AMDMB_TRACE_DIR"));
+  if (const auto v = NonEmpty(lookup("AMDMB_TRACE_CAP"))) {
+    options.trace_capacity = ParseTraceCapacity(*v);
   }
   return options;
 }

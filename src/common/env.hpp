@@ -14,6 +14,9 @@
 //   AMDMB_FAULTS     fault-injection spec (parsed by fault::FaultSpec).
 //   AMDMB_RETRY      retry-policy spec (parsed by exec::RetryPolicy).
 //   AMDMB_WATCHDOG   per-launch cycle budget, non-negative integer.
+//   AMDMB_PROF       hardware-counter profiling ("1" on, "0"/unset off).
+//   AMDMB_TRACE_DIR  Chrome-trace (trace_event JSON) output directory.
+//   AMDMB_TRACE_CAP  per-launch trace/event capacity, positive integer.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +39,9 @@ struct Options {
   std::optional<std::string> faults;     ///< AMDMB_FAULTS, raw spec.
   std::optional<std::string> retry;      ///< AMDMB_RETRY, raw spec.
   std::uint64_t watchdog_cycles = 0;     ///< AMDMB_WATCHDOG, 0 = unlimited.
+  bool prof = false;                     ///< AMDMB_PROF.
+  std::optional<std::string> trace_dir;  ///< AMDMB_TRACE_DIR.
+  std::size_t trace_capacity = 1u << 20; ///< AMDMB_TRACE_CAP.
 };
 
 /// Worker-count grammar shared by AMDMB_THREADS and explicit configs:
@@ -45,6 +51,10 @@ unsigned ParseThreadCount(std::string_view text);
 /// AMDMB_WATCHDOG grammar: a non-negative cycle count. Throws
 /// ConfigError.
 std::uint64_t ParseWatchdogCycles(std::string_view text);
+
+/// AMDMB_TRACE_CAP grammar: a positive event count (the bound on both
+/// sim::Trace and prof::Collector event buffers). Throws ConfigError.
+std::size_t ParseTraceCapacity(std::string_view text);
 
 /// Pure parser behind Get(): `lookup` plays the role of getenv (returns
 /// nullptr when a variable is unset; empty strings count as unset, the

@@ -1,6 +1,7 @@
 #include "mem/cache.hpp"
 
 #include "common/status.hpp"
+#include "prof/collector.hpp"
 
 namespace amdmb::mem {
 
@@ -46,6 +47,7 @@ bool TextureCache::Probe(const LineId& line) {
     if (w->tag == tag) {
       w->lru = tick_;
       ++stats_.hits;
+      if (collector_ != nullptr) collector_->OnCacheProbe(set, true);
       return true;
     }
     if (w->lru < victim->lru) victim = w;
@@ -53,6 +55,7 @@ bool TextureCache::Probe(const LineId& line) {
   victim->tag = tag;
   victim->lru = tick_;
   ++stats_.misses;
+  if (collector_ != nullptr) collector_->OnCacheProbe(set, false);
   return false;
 }
 

@@ -15,6 +15,10 @@
 #include "common/types.hpp"
 #include "mem/tiling.hpp"
 
+namespace amdmb::prof {
+class Collector;
+}  // namespace amdmb::prof
+
 namespace amdmb::mem {
 
 struct CacheConfig {
@@ -48,6 +52,11 @@ class TextureCache {
   const CacheStats& Stats() const { return stats_; }
   unsigned SetCount() const { return set_count_; }
 
+  /// Attaches the profiler's per-launch collector (nullptr detaches).
+  /// Pure observation: Probe's outcome and the cache state are
+  /// identical with or without one attached.
+  void SetCollector(prof::Collector* collector) { collector_ = collector; }
+
  private:
   unsigned SetIndex(std::uint64_t line_number, const LineId& line) const;
   /// address -> line number; a shift when the line size is a power of
@@ -69,6 +78,7 @@ class TextureCache {
   std::vector<Way> ways_;  ///< set-major, associativity entries per set.
   std::uint64_t tick_ = 0;
   CacheStats stats_;
+  prof::Collector* collector_ = nullptr;
 };
 
 }  // namespace amdmb::mem

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/status.hpp"
+#include "prof/collector.hpp"
 
 namespace amdmb::mem {
 
@@ -28,6 +29,9 @@ Cycles MemoryController::RowPenalty(std::span<const std::uint64_t> addrs) {
       open_rows_[bank] = row;
       penalty += arch_->dram.row_switch_cycles;
       ++stats_.row_switches;
+      if (collector_ != nullptr) {
+        collector_->OnRowSwitch(static_cast<unsigned>(bank));
+      }
     }
   }
   return penalty;
@@ -35,7 +39,7 @@ Cycles MemoryController::RowPenalty(std::span<const std::uint64_t> addrs) {
 
 BatchResult MemoryController::Serve(Cycles now, double bytes_per_cycle,
                                     Cycles overhead, Bytes bytes,
-                                    Cycles extra) {
+                                    Cycles extra, prof::DramOp op) {
   Check(bytes_per_cycle > 0.0, "MemoryController: zero bandwidth");
   const auto transfer = static_cast<Cycles>(
       std::ceil(static_cast<double>(bytes) / bytes_per_cycle));
@@ -44,6 +48,10 @@ BatchResult MemoryController::Serve(Cycles now, double bytes_per_cycle,
   free_at_ = start + cost;
   stats_.busy_cycles += cost;
   ++stats_.batches;
+  if (collector_ != nullptr) {
+    collector_->OnDramBatch(op, /*queue=*/start - now, transfer, cost,
+                            bytes);
+  }
   return BatchResult{start, free_at_};
 }
 
@@ -54,7 +62,8 @@ BatchResult MemoryController::FillLines(
   const Bytes bytes = line_addrs.size() * line_bytes;
   stats_.read_bytes += bytes;
   const BatchResult r = Serve(now, arch_->dram.fill_bytes_per_cycle,
-                              /*overhead=*/0, bytes, penalty);
+                              /*overhead=*/0, bytes, penalty,
+                              prof::DramOp::kFill);
   stats_.fill_busy_cycles += r.end - r.start;
   return r;
 }
@@ -64,7 +73,8 @@ BatchResult MemoryController::GlobalRead(Cycles now, std::uint64_t addr,
   (void)addr;  // Coalesced wavefront reads burst; no per-row modelling.
   stats_.read_bytes += bytes;
   return Serve(now, arch_->dram.read_bytes_per_cycle,
-               arch_->global_read_instr_overhead, bytes, /*extra=*/0);
+               arch_->global_read_instr_overhead, bytes, /*extra=*/0,
+               prof::DramOp::kRead);
 }
 
 BatchResult MemoryController::GlobalWrite(Cycles now, std::uint64_t addr,
@@ -72,7 +82,8 @@ BatchResult MemoryController::GlobalWrite(Cycles now, std::uint64_t addr,
   (void)addr;
   stats_.write_bytes += bytes;
   return Serve(now, arch_->dram.write_bytes_per_cycle,
-               arch_->global_write_instr_overhead, bytes, /*extra=*/0);
+               arch_->global_write_instr_overhead, bytes, /*extra=*/0,
+               prof::DramOp::kWrite);
 }
 
 BatchResult MemoryController::StreamStore(Cycles now, std::uint64_t addr,
@@ -80,7 +91,8 @@ BatchResult MemoryController::StreamStore(Cycles now, std::uint64_t addr,
   (void)addr;
   stats_.write_bytes += bytes;
   return Serve(now, arch_->stream_store_bytes_per_cycle,
-               arch_->stream_store_instr_overhead, bytes, /*extra=*/0);
+               arch_->stream_store_instr_overhead, bytes, /*extra=*/0,
+               prof::DramOp::kStream);
 }
 
 }  // namespace amdmb::mem

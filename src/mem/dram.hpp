@@ -16,6 +16,11 @@
 #include "arch/gpu_arch.hpp"
 #include "common/types.hpp"
 
+namespace amdmb::prof {
+class Collector;
+enum class DramOp : unsigned;
+}  // namespace amdmb::prof
+
 namespace amdmb::mem {
 
 /// Timing of one served batch.
@@ -64,15 +69,21 @@ class MemoryController {
   const DramStats& Stats() const { return stats_; }
   void Reset();
 
+  /// Attaches the profiler's per-launch collector (nullptr detaches).
+  /// Pure observation: batch timing and DramStats are identical with or
+  /// without one attached.
+  void SetCollector(prof::Collector* collector) { collector_ = collector; }
+
  private:
   BatchResult Serve(Cycles now, double bytes_per_cycle, Cycles overhead,
-                    Bytes bytes, Cycles extra);
+                    Bytes bytes, Cycles extra, prof::DramOp op);
   Cycles RowPenalty(std::span<const std::uint64_t> addrs);
 
   const GpuArch* arch_;
   Cycles free_at_ = 0;
   std::vector<std::uint64_t> open_rows_;
   DramStats stats_;
+  prof::Collector* collector_ = nullptr;
 };
 
 }  // namespace amdmb::mem

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/status.hpp"
+#include "prof/collector.hpp"
 
 namespace amdmb::mem {
 
@@ -61,6 +62,9 @@ TexClauseTiming TextureUnitBlock::ServeClause(
                    arch_->tex_miss_stall_cycles;
   if (last_fill_end != 0) {
     t.complete = std::max(t.complete, last_fill_end + arch_->tex_hit_latency);
+  }
+  if (collector_ != nullptr) {
+    collector_->OnTexClause(simd_, service, t.miss_instrs);
   }
   return t;
 }

@@ -20,6 +20,10 @@
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 
+namespace amdmb::prof {
+class Collector;
+}  // namespace amdmb::prof
+
 namespace amdmb::mem {
 
 /// Timing outcome of one TEX clause for one wavefront.
@@ -51,6 +55,13 @@ class TextureUnitBlock {
   /// Service cycles for one fetch instruction of the given shape.
   Cycles ServicePerFetch(DataType type, unsigned active_threads) const;
 
+  /// Attaches the profiler's per-launch collector under this block's
+  /// SIMD id (nullptr detaches). Pure observation.
+  void SetCollector(prof::Collector* collector, unsigned simd) {
+    collector_ = collector;
+    simd_ = simd;
+  }
+
  private:
   const GpuArch* arch_;
   TextureCache* cache_;
@@ -58,6 +69,8 @@ class TextureUnitBlock {
   Cycles free_at_ = 0;
   Cycles busy_ = 0;
   std::vector<std::uint64_t> fill_addrs_;  // scratch, reused across clauses
+  prof::Collector* collector_ = nullptr;
+  unsigned simd_ = 0;
 };
 
 }  // namespace amdmb::mem

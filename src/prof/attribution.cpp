@@ -1,0 +1,51 @@
+#include "prof/attribution.hpp"
+
+#include <algorithm>
+
+namespace amdmb::prof {
+
+Attribution Attribute(const CounterSet& counters) {
+  Attribution result;
+  const auto total = static_cast<double>(counters.Get(CounterId::kCycles));
+  if (total <= 0.0) return result;
+
+  result.alu_score =
+      static_cast<double>(counters.Get(CounterId::kAluBusyCyclesMax)) / total;
+
+  const double fetch_util =
+      static_cast<double>(counters.Get(CounterId::kTexBusyCyclesMax)) / total;
+  // Latency exposure: wavefront slots stalled inside fetch clauses, as a
+  // share of all slot-time in the launch (slots = SIMDs x occupancy).
+  const double slot_time =
+      total *
+      static_cast<double>(counters.Get(CounterId::kSimdEngines)) *
+      static_cast<double>(
+          std::max<std::uint64_t>(1, counters.Get(
+                                         CounterId::kResidentWavefronts)));
+  const double stall_share =
+      slot_time <= 0.0
+          ? 0.0
+          : static_cast<double>(counters.Get(CounterId::kFetchWaitCycles)) /
+                slot_time;
+  const double fill_share =
+      static_cast<double>(counters.Get(CounterId::kDramFillBusyCycles)) /
+      total;
+  result.fetch_score = std::max({fetch_util, stall_share, fill_share});
+
+  result.memory_score =
+      static_cast<double>(counters.Get(CounterId::kDramBusyCycles) -
+                          counters.Get(CounterId::kDramFillBusyCycles)) /
+      total;
+
+  if (result.alu_score >= result.fetch_score &&
+      result.alu_score >= result.memory_score) {
+    result.bottleneck = sim::Bottleneck::kAlu;
+  } else if (result.fetch_score >= result.memory_score) {
+    result.bottleneck = sim::Bottleneck::kFetch;
+  } else {
+    result.bottleneck = sim::Bottleneck::kMemory;
+  }
+  return result;
+}
+
+}  // namespace amdmb::prof

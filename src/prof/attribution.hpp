@@ -1,0 +1,27 @@
+// Counter-based bottleneck attribution.
+//
+// The simulator's heuristic classifier (Gpu::Execute, paper Sec. II-A)
+// decides ALU / FETCH / MEMORY from its internal busy aggregates. The
+// attributor makes the same decision from the *sampled counters* — the
+// independently-accumulated instrumentation stream — which upgrades the
+// classification from a heuristic to an evidence-backed statement: when
+// the two disagree, a specific counter names the discrepancy. The suite
+// cross-checks both on every bench figure (see tests/test_prof.cpp and
+// EXPERIMENTS.md).
+#pragma once
+
+#include "prof/profile.hpp"
+
+namespace amdmb::prof {
+
+/// Attributes the launch bottleneck from a sampled CounterSet. The
+/// scoring mirrors the heuristic's definitions exactly:
+///   alu    = busiest SIMD's ALU busy share of the launch
+///   fetch  = max(busiest SIMD's tex-unit share,
+///                fetch-wait share of all wavefront slots,
+///                texture-line fill share of the controller)
+///   memory = non-fill controller busy share
+/// with the same >=-ordered tie-break (ALU, then FETCH, then MEMORY).
+Attribution Attribute(const CounterSet& counters);
+
+}  // namespace amdmb::prof

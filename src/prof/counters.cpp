@@ -1,0 +1,102 @@
+#include "prof/counters.hpp"
+
+#include <sstream>
+
+#include "common/status.hpp"
+#include "common/table.hpp"
+
+namespace amdmb::prof {
+
+namespace {
+
+struct CounterInfo {
+  std::string_view name;
+  std::string_view detail;
+};
+
+constexpr std::array<CounterInfo, kCounterCount> kCounterInfo{{
+    {"cycles", "event clock at full drain, one launch (cycles)"},
+    {"wavefronts", "wavefronts dispatched over the domain"},
+    {"resident_wavefronts", "simultaneously resident wavefronts per SIMD"},
+    {"simd_engines", "SIMD engines on the launched-on chip"},
+    {"clause_switches", "clause-to-clause control-flow transitions"},
+    {"alu_clauses", "ALU clause chunks issued to the pipelines"},
+    {"alu_bundles", "VLIW bundles executed"},
+    {"alu_slots_used", "micro-op slots issued across those bundles"},
+    {"alu_slots_total", "available slots: bundles x VLIW width"},
+    {"alu_busy_cycles_max", "busiest SIMD's ALU pipeline busy (cycles)"},
+    {"tex_clauses", "TEX clauses served by the texture units"},
+    {"tex_busy_cycles_max", "busiest SIMD's texture-unit busy (cycles)"},
+    {"tex_miss_stall_instrs", "fetch instructions that stalled on a miss"},
+    {"tex_cache_hits", "texture-cache line probes that hit"},
+    {"tex_cache_misses", "texture-cache line probes that missed"},
+    {"fetch_wait_cycles", "wavefront time inside fetch clauses (cycles)"},
+    {"dram_batches", "request batches the memory controller served"},
+    {"dram_read_bytes", "bytes read from off-chip memory"},
+    {"dram_write_bytes", "bytes written to off-chip memory"},
+    {"dram_busy_cycles", "controller occupancy: overhead + transfer (cycles)"},
+    {"dram_fill_busy_cycles", "busy share filling texture lines (cycles)"},
+    {"dram_transfer_cycles", "pure byte-moving cycles (burst numerator)"},
+    {"dram_queue_cycles", "batch wait before the controller was free (cycles)"},
+    {"dram_row_switches", "open-row switches across DRAM banks"},
+}};
+
+double RatioOf(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+std::string_view ToString(CounterId id) {
+  const auto index = static_cast<std::size_t>(id);
+  Check(index < kCounterCount, "ToString(CounterId): unknown value");
+  return kCounterInfo[index].name;
+}
+
+std::string_view Describe(CounterId id) {
+  const auto index = static_cast<std::size_t>(id);
+  Check(index < kCounterCount, "Describe(CounterId): unknown value");
+  return kCounterInfo[index].detail;
+}
+
+std::optional<CounterId> CounterIdFromString(std::string_view name) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (kCounterInfo[i].name == name) return static_cast<CounterId>(i);
+  }
+  return std::nullopt;
+}
+
+double CounterSet::AluSlotOccupancy() const {
+  return RatioOf(Get(CounterId::kAluSlotsUsed),
+                 Get(CounterId::kAluSlotsTotal));
+}
+
+double CounterSet::TexCacheHitRate() const {
+  return RatioOf(Get(CounterId::kTexCacheHits),
+                 Get(CounterId::kTexCacheHits) +
+                     Get(CounterId::kTexCacheMisses));
+}
+
+double CounterSet::DramBurstEfficiency() const {
+  return RatioOf(Get(CounterId::kDramTransferCycles),
+                 Get(CounterId::kDramBusyCycles));
+}
+
+std::string CounterSet::Render() const {
+  TextTable table({"counter", "value", "meaning"});
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto id = static_cast<CounterId>(i);
+    table.AddRow({std::string(ToString(id)), std::to_string(Get(id)),
+                  std::string(Describe(id))});
+  }
+  std::ostringstream os;
+  os << table.Render();
+  os << "derived: alu_slot_occupancy=" << FormatDouble(AluSlotOccupancy(), 3)
+     << "  tex_cache_hit_rate=" << FormatDouble(TexCacheHitRate(), 3)
+     << "  dram_burst_efficiency=" << FormatDouble(DramBurstEfficiency(), 3)
+     << "\n";
+  return os.str();
+}
+
+}  // namespace amdmb::prof

@@ -1,0 +1,109 @@
+// Hardware-counter registry for the profiler subsystem.
+//
+// The simulator's KernelStats aggregates answer "how utilised was each
+// resource"; the counter registry answers "what did the hardware *do*":
+// VLIW slot issue, clause switches, cache traffic per set, DRAM row
+// activity, queueing vs. service time. Every counter is an integer
+// sampled from simulated state, so a CounterSet is bit-identical across
+// runs and thread counts — the determinism contract the sweep executor
+// already guarantees for KernelStats extends to profiles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace amdmb::prof {
+
+/// Every per-launch counter the instrumentation hooks sample. Grouped by
+/// the hardware block that produces it (see DESIGN.md §9 for what each
+/// one measures in the R600/R700 model and which paper figure it
+/// explains).
+enum class CounterId : unsigned {
+  // ---- Launch shape ----
+  kCycles,               ///< Event clock at full drain (one launch).
+  kWavefronts,           ///< Wavefronts dispatched over the domain.
+  kResidentWavefronts,   ///< Simultaneously resident wavefronts per SIMD.
+  kSimdEngines,          ///< SIMD engines of the launched-on chip.
+  // ---- Control-flow processor ----
+  kClauseSwitches,       ///< Clause-to-clause transitions (4-cycle each).
+  // ---- ALU pipeline ----
+  kAluClauses,           ///< ALU clause chunks issued.
+  kAluBundles,           ///< VLIW bundles executed.
+  kAluSlotsUsed,         ///< Micro-op slots issued across those bundles.
+  kAluSlotsTotal,        ///< bundles x vliw_width (occupancy denominator).
+  kAluBusyCyclesMax,     ///< Busiest SIMD's ALU pipeline busy cycles.
+  // ---- Texture path ----
+  kTexClauses,           ///< TEX clauses served.
+  kTexBusyCyclesMax,     ///< Busiest SIMD's texture-unit busy cycles.
+  kTexMissStallInstrs,   ///< Fetch instructions that stalled on a miss.
+  kTexCacheHits,         ///< Texture-cache line probes that hit.
+  kTexCacheMisses,       ///< Texture-cache line probes that missed.
+  // ---- Wavefront latency exposure ----
+  kFetchWaitCycles,      ///< Wavefront time spent inside fetch clauses.
+  // ---- Memory controller / DRAM ----
+  kDramBatches,          ///< Request batches the controller served.
+  kDramReadBytes,
+  kDramWriteBytes,
+  kDramBusyCycles,       ///< Controller occupancy (overhead + transfer).
+  kDramFillBusyCycles,   ///< Share of busy spent filling texture lines.
+  kDramTransferCycles,   ///< Pure byte-moving cycles (burst numerator).
+  kDramQueueCycles,      ///< Batch wait time before the controller served.
+  kDramRowSwitches,      ///< Open-row switches (bank conflicts).
+
+  kCount,
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(CounterId::kCount);
+
+/// Stable snake_case name used in JSON documents and counter tables.
+std::string_view ToString(CounterId id);
+
+/// One-line meaning (units included) for tables and DESIGN.md parity.
+std::string_view Describe(CounterId id);
+
+/// Inverse of ToString; nullopt for unknown names (forward compat: a
+/// newer writer may emit counters this reader does not know).
+std::optional<CounterId> CounterIdFromString(std::string_view name);
+
+/// The per-launch counter vector. Plain integers, value semantics,
+/// bitwise comparable — the profiler's determinism tests compare
+/// CounterSets across thread counts with operator==.
+class CounterSet {
+ public:
+  std::uint64_t Get(CounterId id) const {
+    return values_[static_cast<std::size_t>(id)];
+  }
+  void Set(CounterId id, std::uint64_t v) {
+    values_[static_cast<std::size_t>(id)] = v;
+  }
+  void Add(CounterId id, std::uint64_t v) {
+    values_[static_cast<std::size_t>(id)] += v;
+  }
+
+  // ---- Derived metrics (doubles, computed on demand) ----
+  /// Issued VLIW slots over available slots: the paper's "5 instructions
+  /// per bundle" packing efficiency. Low values mean the dependency
+  /// chain defeated the VLIW packer (the generator's intent, Sec. III).
+  double AluSlotOccupancy() const;
+  /// Texture-cache hit rate over line probes.
+  double TexCacheHitRate() const;
+  /// Byte-moving cycles over controller busy cycles: how close the
+  /// DRAM path ran to pure streaming (1.0 = no overhead, no row misses).
+  double DramBurstEfficiency() const;
+
+  bool operator==(const CounterSet&) const = default;
+
+  /// Rendered table of every non-zero counter plus the derived metrics.
+  std::string Render() const;
+
+ private:
+  std::array<std::uint64_t, kCounterCount> values_{};
+};
+
+}  // namespace amdmb::prof

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/status.hpp"
+#include "prof/profile_json.hpp"
 #include "report/json.hpp"
 
 namespace amdmb::report {
@@ -68,6 +69,29 @@ void EmitFindings(std::ostringstream& os,
   os << (findings.empty() ? "]" : "\n  ]");
 }
 
+/// The additive schema-v2 "profile" block: emitted only when the run
+/// was profiled, so unprofiled documents stay byte-identical to before
+/// the profiler existed.
+void EmitProfiles(std::ostringstream& os,
+                  const std::vector<ProfileEntry>& profiles) {
+  os << "  \"profile\": [";
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const ProfileEntry& p = profiles[i];
+    os << (i ? "," : "") << "\n    {";
+    os << "\"curve\": \"" << JsonEscape(p.curve) << "\", ";
+    os << "\"point\": \"" << JsonEscape(p.point) << "\", ";
+    os << "\"attributed\": \"" << JsonEscape(p.attributed) << "\", ";
+    os << "\"heuristic\": \"" << JsonEscape(p.heuristic) << "\", ";
+    os << "\"agree\": " << (p.agree ? "true" : "false") << ", ";
+    os << "\"alu_score\": " << JsonNumber(p.alu_score) << ", ";
+    os << "\"fetch_score\": " << JsonNumber(p.fetch_score) << ", ";
+    os << "\"memory_score\": " << JsonNumber(p.memory_score) << ", ";
+    os << "\"dropped_events\": " << p.dropped_events << ", ";
+    os << "\"counters\": " << prof::CounterSetJson(p.counters) << "}";
+  }
+  os << "\n  ],\n";
+}
+
 void EmitDegradations(std::ostringstream& os,
                       const std::vector<Degradation>& degradations) {
   os << "  \"degradations\": [";
@@ -127,6 +151,9 @@ std::string BenchJson(const Figure& figure) {
   os << ",\n";
   if (!figure.degradations.empty()) {
     EmitDegradations(os, figure.degradations);
+  }
+  if (!figure.profiles.empty()) {
+    EmitProfiles(os, figure.profiles);
   }
   os << "  \"curves\": [\n";
   const auto& all = figure.set.All();

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/status.hpp"
+#include "prof/profile_json.hpp"
 #include "report/json.hpp"
 #include "report/json_sink.hpp"
 
@@ -75,6 +76,30 @@ std::vector<Degradation> DegradationsFrom(const JsonValue& doc) {
   return out;
 }
 
+std::vector<ProfileEntry> ProfilesFrom(const JsonValue& doc) {
+  std::vector<ProfileEntry> out;
+  const JsonValue* list = doc.Find("profile");
+  if (list == nullptr) return out;
+  for (const JsonValue& item : list->AsArray()) {
+    ProfileEntry p;
+    p.curve = item.StringOr("curve", "");
+    p.point = item.StringOr("point", "");
+    p.attributed = item.StringOr("attributed", "");
+    p.heuristic = item.StringOr("heuristic", "");
+    p.agree = item.BoolOr("agree", true);
+    p.alu_score = item.NumberOr("alu_score", 0.0);
+    p.fetch_score = item.NumberOr("fetch_score", 0.0);
+    p.memory_score = item.NumberOr("memory_score", 0.0);
+    p.dropped_events =
+        static_cast<std::uint64_t>(item.NumberOr("dropped_events", 0.0));
+    if (const JsonValue* counters = item.Find("counters")) {
+      p.counters = prof::CounterSetFromJson(*counters);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
 std::vector<LoadedCurve> CurvesFrom(const JsonValue& doc) {
   std::vector<LoadedCurve> out;
   const JsonValue* list = doc.Find("curves");
@@ -120,12 +145,13 @@ LoadedFigure LoadFigureJson(std::string_view text,
   figure.notes = StringList(doc.Find("notes"));
   figure.findings = FindingsFrom(doc);
   figure.degradations = DegradationsFrom(doc);
+  figure.profiles = ProfilesFrom(doc);
   figure.curves = CurvesFrom(doc);
   return figure;
 }
 
 std::vector<LoadedFigure> LoadFigureDirectory(
-    const std::filesystem::path& directory) {
+    const std::filesystem::path& directory, std::string_view slug) {
   Require(std::filesystem::is_directory(directory),
           "LoadFigureDirectory: '" + directory.string() +
               "' is not a directory");
@@ -136,6 +162,12 @@ std::vector<LoadedFigure> LoadFigureDirectory(
     const std::string name = entry.path().filename().string();
     if (name.rfind("BENCH_", 0) == 0 &&
         entry.path().extension() == ".json") {
+      // The writer names documents BENCH_<slug>.json, so the --figure
+      // filter can skip non-matching files without parsing them.
+      if (!slug.empty() &&
+          name != "BENCH_" + std::string(slug) + ".json") {
+        continue;
+      }
       files.push_back(entry.path());
     }
   }

@@ -38,6 +38,8 @@ struct LoadedFigure {
   std::vector<std::string> notes;
   std::vector<Finding> findings;
   std::vector<Degradation> degradations;
+  /// The additive "profile" block; empty for unprofiled documents.
+  std::vector<ProfileEntry> profiles;
   std::vector<LoadedCurve> curves;
 
   /// Filesystem-safe stem derived from the id; see FigureSlug.
@@ -51,9 +53,11 @@ LoadedFigure LoadFigureJson(std::string_view text,
                             std::filesystem::path source = {});
 
 /// Loads every BENCH_*.json in `directory`, sorted by filename for
-/// deterministic aggregation order. Throws ConfigError when the
-/// directory does not exist or any document fails to parse.
+/// deterministic aggregation order. When `slug` is non-empty only the
+/// figure whose Slug() matches is loaded (the amdmb_report --figure
+/// filter). Throws ConfigError when the directory does not exist or any
+/// document fails to parse.
 std::vector<LoadedFigure> LoadFigureDirectory(
-    const std::filesystem::path& directory);
+    const std::filesystem::path& directory, std::string_view slug = {});
 
 }  // namespace amdmb::report

@@ -8,6 +8,7 @@
 #include "common/table.hpp"
 #include "exec/run_report.hpp"
 #include "exec/thread_pool.hpp"
+#include "prof/profile.hpp"
 #include "report/json_sink.hpp"
 
 namespace amdmb::report {
@@ -76,6 +77,40 @@ std::vector<Degradation> DegradationsFrom(const exec::RunReport& run,
     out.push_back(std::move(d));
   }
   return out;
+}
+
+std::string ProfileEntry::Render() const {
+  std::ostringstream os;
+  os << curve << "/" << point << ": " << attributed;
+  if (agree) {
+    os << " (agrees with heuristic)";
+  } else {
+    os << " — DIVERGES from heuristic " << heuristic;
+  }
+  os << "  alu=" << FormatDouble(alu_score, 3)
+     << " fetch=" << FormatDouble(fetch_score, 3)
+     << " memory=" << FormatDouble(memory_score, 3);
+  if (dropped_events > 0) {
+    os << "  (" << dropped_events << " trace events dropped)";
+  }
+  return os.str();
+}
+
+ProfileEntry MakeProfileEntry(const std::string& curve,
+                              const prof::Profile& profile,
+                              std::string_view heuristic) {
+  ProfileEntry entry;
+  entry.curve = curve;
+  entry.point = profile.point;
+  entry.attributed = sim::ToString(profile.attribution.bottleneck);
+  entry.heuristic = heuristic;
+  entry.agree = entry.attributed == entry.heuristic;
+  entry.alu_score = profile.attribution.alu_score;
+  entry.fetch_score = profile.attribution.fetch_score;
+  entry.memory_score = profile.attribution.memory_score;
+  entry.counters = profile.counters;
+  entry.dropped_events = profile.dropped_events;
+  return entry;
 }
 
 RunMeta CollectRunMeta() {

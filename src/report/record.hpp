@@ -17,11 +17,16 @@
 #include <string_view>
 #include <vector>
 
+#include "prof/counters.hpp"
 #include "report/series.hpp"
 
 namespace amdmb::exec {
 struct RunReport;
 }  // namespace amdmb::exec
+
+namespace amdmb::prof {
+struct Profile;
+}  // namespace amdmb::prof
 
 namespace amdmb::report {
 
@@ -95,6 +100,37 @@ struct Degradation {
 std::vector<Degradation> DegradationsFrom(const exec::RunReport& run,
                                           const std::string& curve);
 
+/// One profiled sweep point: the sampled hardware counters plus the
+/// counter-based bottleneck attribution, cross-checked against the
+/// simulator's heuristic classification. Bottlenecks are stored as the
+/// canonical strings ("ALU" / "FETCH" / "MEMORY") so the record layer
+/// stays decoupled from the simulator types and the JSON round-trip is
+/// verbatim.
+struct ProfileEntry {
+  std::string curve;       ///< Legend label ("4870 Pixel Float").
+  std::string point;       ///< Sweep-point label ("alufetch_r2.00").
+  std::string attributed;  ///< Counter-based bottleneck.
+  std::string heuristic;   ///< Gpu::Execute's classification.
+  bool agree = true;       ///< attributed == heuristic.
+  double alu_score = 0.0;
+  double fetch_score = 0.0;
+  double memory_score = 0.0;
+  prof::CounterSet counters;
+  std::uint64_t dropped_events = 0;  ///< Trace events past AMDMB_TRACE_CAP.
+
+  /// One line for the text sink, e.g.
+  /// "4870 Pixel Float/alufetch_r2.00: ALU (agrees with heuristic)".
+  std::string Render() const;
+
+  bool operator==(const ProfileEntry&) const = default;
+};
+
+/// Builds the entry for one profiled measurement. `heuristic` is the
+/// rendered sim::Bottleneck of the same launch's KernelStats.
+ProfileEntry MakeProfileEntry(const std::string& curve,
+                              const prof::Profile& profile,
+                              std::string_view heuristic);
+
 /// Run-wide provenance stamped into every figure record.
 struct RunMeta {
   std::string suite_version;      ///< git describe at build time.
@@ -124,6 +160,9 @@ struct Figure {
   SeriesSet set;            ///< The measured curves.
   std::vector<Finding> findings;
   std::vector<Degradation> degradations;
+  /// Per-point profiles, present only when the run was profiled
+  /// (AMDMB_PROF); sinks emit the additive "profile" block from these.
+  std::vector<ProfileEntry> profiles;
   RunMeta meta;
 
   /// Filesystem-safe stem ("fig_7"); see FigureSlug.

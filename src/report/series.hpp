@@ -4,6 +4,7 @@
 // column layout gnuplot consumed in the original paper, or as CSV.
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,11 +45,14 @@ class SeriesSet {
         x_label_(std::move(x_label)),
         y_label_(std::move(y_label)) {}
 
-  /// Returns the series with this name, creating it if absent.
+  /// Returns the series with this name, creating it if absent. The
+  /// reference stays valid across later Get calls (the deque never
+  /// relocates existing series), so a bench may hold two curves' series
+  /// while interleaving adds to both.
   Series& Get(const std::string& name);
 
   const Series* Find(const std::string& name) const;
-  const std::vector<Series>& All() const { return series_; }
+  const std::deque<Series>& All() const { return series_; }
   const std::string& Title() const { return title_; }
 
   /// Renders "x  y1  y2 ..." columns with a header naming each curve —
@@ -63,7 +67,7 @@ class SeriesSet {
   std::string title_;
   std::string x_label_;
   std::string y_label_;
-  std::vector<Series> series_;
+  std::deque<Series> series_;
 };
 
 }  // namespace amdmb

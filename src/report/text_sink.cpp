@@ -18,6 +18,17 @@ void TextSink::Write(const Figure& figure) {
       os_ << "  - " << d.Render() << "\n";
     }
   }
+  if (!figure.profiles.empty()) {
+    std::size_t agreeing = 0;
+    for (const ProfileEntry& p : figure.profiles) {
+      if (p.agree) ++agreeing;
+    }
+    os_ << "Profiled points (counter-based attribution, " << agreeing
+        << "/" << figure.profiles.size() << " agree with the heuristic):\n";
+    for (const ProfileEntry& p : figure.profiles) {
+      os_ << "  - " << p.Render() << "\n";
+    }
+  }
 }
 
 }  // namespace amdmb::report

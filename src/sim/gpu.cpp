@@ -8,6 +8,7 @@
 #include "common/env.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
+#include "prof/collector.hpp"
 #include "sim/simd_engine.hpp"
 #include "sim/wavefront.hpp"
 
@@ -77,7 +78,8 @@ void ValidateLaunch(const GpuArch& arch, const isa::Program& program,
 }  // namespace
 
 KernelStats Gpu::Execute(const isa::Program& program,
-                         const LaunchConfig& config, Trace* trace) const {
+                         const LaunchConfig& config, Trace* trace,
+                         prof::Collector* collector) const {
   ValidateLaunch(arch_, program, config);
 
   const std::vector<WaveRect> waves =
@@ -95,12 +97,22 @@ KernelStats Gpu::Execute(const isa::Program& program,
   for (unsigned s = 0; s < simd_count; ++s) {
     simds.emplace_back(arch_, cache, controller);
   }
+  if (collector != nullptr) {
+    cache.SetCollector(collector);
+    controller.SetCollector(collector);
+    for (unsigned s = 0; s < simd_count; ++s) {
+      simds[s].SetCollector(collector, s);
+    }
+  }
 
   // Wavefront w runs on SIMD w % simd_count; each SIMD admits its waves
   // in order, keeping at most `occupancy` resident. Every wavefront owns
   // exactly one in-flight event, so the queue never outgrows the
   // resident set — reserve its backing vector up front.
   std::vector<std::uint32_t> next_batch(simd_count, occupancy);
+  // Per-SIMD resident-wavefront counts for the occupancy timeline;
+  // maintained only while a collector observes the launch.
+  std::vector<unsigned> resident(collector != nullptr ? simd_count : 0, 0);
   std::vector<Event> event_storage;
   event_storage.reserve(std::min<std::uint64_t>(
       wave_count, static_cast<std::uint64_t>(simd_count) * occupancy + 1));
@@ -114,7 +126,13 @@ KernelStats Gpu::Execute(const isa::Program& program,
         // Tiny stagger keeps the initial interleave deterministic without
         // every wavefront's first clause colliding at cycle 0.
         events.push(Event{k, s, static_cast<std::uint32_t>(w), 0});
+        if (collector != nullptr) ++resident[s];
       }
+    }
+  }
+  if (collector != nullptr) {
+    for (unsigned s = 0; s < simd_count; ++s) {
+      collector->OnOccupancy(0, s, resident[s]);
     }
   }
 
@@ -159,6 +177,19 @@ KernelStats Gpu::Execute(const isa::Program& program,
                                    static_cast<std::uint16_t>(e.clause),
                                    clause.type});
         }
+        if (collector != nullptr) {
+          collector->OnClause(TraceEvent{e.t, served_at, done, e.wave,
+                                         static_cast<std::uint16_t>(e.simd),
+                                         static_cast<std::uint16_t>(e.clause),
+                                         clause.type});
+          std::uint64_t used = 0;
+          for (unsigned b = 0; b < chunk; ++b) {
+            used += clause.bundles[e.bundles_done + b].SlotCount();
+          }
+          collector->OnAluSlots(
+              chunk, used,
+              static_cast<std::uint64_t>(chunk) * arch_.vliw_width);
+        }
         if (e.bundles_done + chunk < total) {
           // Yield the pipe to other resident wavefronts between chunks.
           events.push(Event{done, e.simd, e.wave, e.clause,
@@ -179,6 +210,7 @@ KernelStats Gpu::Execute(const isa::Program& program,
         served_at = timing.start;
         done = timing.complete;
         fetch_wait += done - e.t;
+        if (collector != nullptr) collector->OnFetchWait(done - e.t);
         break;
       }
       case isa::ClauseType::kMemRead: {
@@ -196,6 +228,7 @@ KernelStats Gpu::Execute(const isa::Program& program,
         }
         done = last_end + arch_.dram.read_latency;
         fetch_wait += done - e.t;
+        if (collector != nullptr) collector->OnFetchWait(done - e.t);
         break;
       }
       case isa::ClauseType::kExport:
@@ -220,14 +253,23 @@ KernelStats Gpu::Execute(const isa::Program& program,
       }
     }
 
-    if (trace != nullptr && clause.type != isa::ClauseType::kAlu) {
-      trace->Record(TraceEvent{e.t, served_at, done, e.wave,
-                               static_cast<std::uint16_t>(e.simd),
-                               static_cast<std::uint16_t>(e.clause),
-                               clause.type});
+    if (clause.type != isa::ClauseType::kAlu) {
+      if (trace != nullptr) {
+        trace->Record(TraceEvent{e.t, served_at, done, e.wave,
+                                 static_cast<std::uint16_t>(e.simd),
+                                 static_cast<std::uint16_t>(e.clause),
+                                 clause.type});
+      }
+      if (collector != nullptr) {
+        collector->OnClause(TraceEvent{e.t, served_at, done, e.wave,
+                                       static_cast<std::uint16_t>(e.simd),
+                                       static_cast<std::uint16_t>(e.clause),
+                                       clause.type});
+      }
     }
     t_end = std::max(t_end, done);
     if (e.clause + 1 < program.clauses.size()) {
+      if (collector != nullptr) collector->OnClauseSwitch();
       events.push(Event{done + arch_.clause_switch_cycles, e.simd, e.wave,
                         e.clause + 1});
     } else {
@@ -236,13 +278,21 @@ KernelStats Gpu::Execute(const isa::Program& program,
           static_cast<std::uint64_t>(next_batch[e.simd]) * simd_count + e.simd;
       if (w < wave_count) {
         ++next_batch[e.simd];
+        if (collector != nullptr) collector->OnClauseSwitch();
         events.push(Event{done + arch_.clause_switch_cycles, e.simd,
                           static_cast<std::uint32_t>(w), 0});
+      } else if (collector != nullptr) {
+        // Retired without replacement: this SIMD's resident count drops.
+        --resident[e.simd];
+        collector->OnOccupancy(done, e.simd, resident[e.simd]);
       }
     }
   }
   t_end = std::max(t_end, controller.FreeAt());
   Check(t_end > 0, "Gpu::Execute: empty execution");
+  if (collector != nullptr) {
+    collector->Finish(t_end, wave_count, occupancy, simd_count);
+  }
 
   KernelStats stats;
   stats.cycles = t_end;

@@ -19,6 +19,10 @@
 #include "mem/dram.hpp"
 #include "sim/trace.hpp"
 
+namespace amdmb::prof {
+class Collector;
+}  // namespace amdmb::prof
+
 namespace amdmb::sim {
 
 /// Kernel launch parameters (the per-run knobs the paper varies).
@@ -40,6 +44,10 @@ struct LaunchConfig {
   /// spinning forever (0 = unlimited, the default). The CAL layer maps
   /// the timeout to CalResult::kCalTimeout.
   Cycles watchdog_cycles = 0;
+  /// Request hardware-counter profiling for this launch even when
+  /// AMDMB_PROF is unset. The CAL layer / suite Runner consult this (or
+  /// prof::ProfilingEnabled()) and attach a prof::Collector to Execute.
+  bool profile = false;
 };
 
 /// Thrown by Gpu::Execute when a launch exceeds its watchdog cycle
@@ -95,14 +103,18 @@ class Gpu {
   /// Simulates one launch of the compiled kernel. Throws ConfigError for
   /// impossible launches (compute mode on RV670, streaming stores in
   /// compute mode, non-wavefront-divisible domains). When `trace` is
-  /// non-null every executed clause is recorded into it.
+  /// non-null every executed clause is recorded into it; when
+  /// `collector` is non-null the launch additionally feeds the
+  /// hardware-counter instrumentation hooks (prof::Collector), with no
+  /// effect on the returned KernelStats.
   ///
   /// Const and shared-nothing: every piece of launch state (cache,
   /// memory controller, SIMD engines, event queue) is built locally, so
   /// concurrent Execute calls on one Gpu are safe — the property the
   /// parallel sweep executor relies on.
   KernelStats Execute(const isa::Program& program, const LaunchConfig& config,
-                      Trace* trace = nullptr) const;
+                      Trace* trace = nullptr,
+                      prof::Collector* collector = nullptr) const;
 
   const GpuArch& Arch() const { return arch_; }
 

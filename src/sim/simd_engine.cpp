@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "arch/occupancy.hpp"
+#include "prof/collector.hpp"
 
 namespace amdmb::sim {
 
@@ -15,6 +16,7 @@ SimdEngine::AluRun SimdEngine::RunAluClause(Cycles now, unsigned bundles,
   const Cycles start = std::max(now, alu_free_);
   alu_free_ = start + duration;
   alu_busy_ += duration;
+  if (collector_ != nullptr) collector_->OnAluChunk(simd_, duration);
   return AluRun{start, alu_free_};
 }
 

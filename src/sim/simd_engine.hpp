@@ -36,11 +36,22 @@ class SimdEngine {
   Cycles AluBusyCycles() const { return alu_busy_; }
   Cycles TexBusyCycles() const { return tex_.BusyCycles(); }
 
+  /// Attaches the profiler's per-launch collector under this engine's
+  /// SIMD id, forwarding to the texture-unit block (nullptr detaches).
+  /// Pure observation.
+  void SetCollector(prof::Collector* collector, unsigned simd) {
+    collector_ = collector;
+    simd_ = simd;
+    tex_.SetCollector(collector, simd);
+  }
+
  private:
   const GpuArch* arch_;
   mem::TextureUnitBlock tex_;
   Cycles alu_free_ = 0;
   Cycles alu_busy_ = 0;
+  prof::Collector* collector_ = nullptr;
+  unsigned simd_ = 0;
 };
 
 }  // namespace amdmb::sim

@@ -5,9 +5,12 @@
 #include <map>
 #include <sstream>
 
+#include "common/env.hpp"
 #include "common/table.hpp"
 
 namespace amdmb::sim {
+
+std::size_t DefaultTraceCapacity() { return env::Get().trace_capacity; }
 
 std::string Trace::RenderSummary() const {
   struct Agg {
@@ -35,7 +38,10 @@ std::string Trace::RenderSummary() const {
   }
   std::ostringstream os;
   os << "Trace summary (" << events_.size() << " events";
-  if (dropped_ > 0) os << ", " << dropped_ << " dropped";
+  if (dropped_ > 0) {
+    os << ", " << dropped_ << " dropped past the capacity of " << capacity_
+       << " — raise AMDMB_TRACE_CAP";
+  }
   os << ")\n" << table.Render();
   return os.str();
 }

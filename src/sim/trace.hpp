@@ -23,12 +23,19 @@ struct TraceEvent {
   isa::ClauseType type = isa::ClauseType::kAlu;
 };
 
+/// The process-wide event-capacity default: AMDMB_TRACE_CAP when set
+/// (validated positive), otherwise 2^20 events. Shared by Trace and the
+/// profiler's Collector so one knob bounds both buffers.
+std::size_t DefaultTraceCapacity();
+
 /// Collects events during Gpu::Execute when attached via LaunchConfig.
 /// Collection is capped to bound memory on big launches; `dropped`
-/// counts events past the cap.
+/// counts events past the cap — and is surfaced in RenderSummary and
+/// the JSON profile block, never silently discarded.
 class Trace {
  public:
-  explicit Trace(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+  Trace() : capacity_(DefaultTraceCapacity()) {}
+  explicit Trace(std::size_t capacity) : capacity_(capacity) {}
 
   void Record(const TraceEvent& event) {
     if (events_.size() < capacity_) {
@@ -45,6 +52,7 @@ class Trace {
 
   const std::vector<TraceEvent>& Events() const { return events_; }
   std::uint64_t DroppedCount() const { return dropped_; }
+  std::size_t Capacity() const { return capacity_; }
 
   /// Per-clause-type aggregate: events, busy cycles, mean queueing delay
   /// (start - issue) and mean latency (complete - start).

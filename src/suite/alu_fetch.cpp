@@ -18,6 +18,7 @@ AluFetchResult RunAluFetch(const Runner& runner, ShaderMode mode,
   launch.mode = mode;
   launch.block = config.block;
   launch.repetitions = config.repetitions;
+  launch.profile = config.profile;
 
   // Compute mode cannot write color buffers (Sec. IV-C).
   const WritePath write = mode == ShaderMode::kCompute ? WritePath::kGlobal

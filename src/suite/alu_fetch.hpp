@@ -28,6 +28,9 @@ struct AluFetchConfig {
   ReadPath read_path = ReadPath::kTexture;
   WritePath write_path = WritePath::kStream;
   unsigned repetitions = kPaperRepetitions;
+  /// Force hardware-counter profiling for every point of this sweep
+  /// (tests use this to bypass the cached AMDMB_PROF snapshot).
+  bool profile = false;
   /// Sweep points run through this executor (null = the process default,
   /// AMDMB_THREADS workers). Results are bit-identical at any width.
   const exec::SweepExecutor* executor = nullptr;

@@ -55,6 +55,7 @@ BlockSizeResult RunBlockSizeExplorer(const Runner& runner,
                          launch.mode = ShaderMode::kCompute;
                          launch.block = shapes[i];
                          launch.repetitions = config.repetitions;
+                         launch.profile = config.profile;
                          BlockSizePoint point;
                          point.block = shapes[i];
                          point.m = runner.Measure(

@@ -24,6 +24,9 @@ struct BlockSizeConfig {
   DataType type = DataType::kFloat4;
   Domain domain{1024, 1024};
   unsigned repetitions = kPaperRepetitions;
+  /// Force hardware-counter profiling for every point of this sweep
+  /// (tests use this to bypass the cached AMDMB_PROF snapshot).
+  bool profile = false;
   /// Sweep points run through this executor (null = the process default).
   const exec::SweepExecutor* executor = nullptr;
   /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).

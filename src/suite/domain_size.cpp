@@ -42,6 +42,7 @@ DomainSizeResult RunDomainSize(const Runner& runner, ShaderMode mode,
                 launch.mode = mode;
                 launch.block = config.block;
                 launch.repetitions = config.repetitions;
+                launch.profile = config.profile;
                 DomainSizePoint point;
                 point.size = sizes[i];
                 point.m = runner.Measure(

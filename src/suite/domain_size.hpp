@@ -24,6 +24,9 @@ struct DomainSizeConfig {
   double alu_fetch_ratio = 10.0;
   BlockShape block{64, 1};
   unsigned repetitions = kPaperRepetitions;
+  /// Force hardware-counter profiling for every point of this sweep
+  /// (tests use this to bypass the cached AMDMB_PROF snapshot).
+  bool profile = false;
   /// Sweep points run through this executor (null = the process default).
   const exec::SweepExecutor* executor = nullptr;
   /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).

@@ -1,6 +1,8 @@
 #include "suite/microbench.hpp"
 
 #include "compiler/compiler.hpp"
+#include "prof/chrome_trace.hpp"
+#include "prof/collector.hpp"
 
 namespace amdmb::suite {
 
@@ -26,16 +28,38 @@ Measurement Runner::Measure(const il::Kernel& kernel,
   if (bounded.watchdog_cycles == 0) {
     bounded.watchdog_cycles = sim::DefaultWatchdogCycles();
   }
+  // A fresh collector per attempt: counters restart from zero, so the
+  // retry layer can never double-count a retried point.
+  std::unique_ptr<prof::Collector> collector;
+  if (bounded.profile || prof::ProfilingEnabled()) {
+    collector = std::make_unique<prof::Collector>(sim::DefaultTraceCapacity());
+  }
   Measurement m;
   m.ska = compiler::Analyze(*program, gpu_.Arch());
   try {
-    m.stats = gpu_.Execute(*program, bounded);
+    m.stats = gpu_.Execute(*program, bounded, nullptr, collector.get());
   } catch (const sim::WatchdogTimeout& e) {
     throw cal::CalError(cal::CalResult::kCalTimeout, "launch",
                         std::string(point), ctx.attempt, e.what());
   }
   cal::CheckInjectedFault(fault::FaultSite::kReadback, point, ctx.attempt);
   m.seconds = m.stats.seconds;
+  if (collector != nullptr) {
+    prof::Profile profile = collector->Take();
+    profile.kernel = program->name;
+    profile.point = std::string(point);
+    profile.arch = gpu_.Arch().name;
+    profile.mode = ToString(bounded.mode);
+    profile.type = ToString(program->sig.type);
+    profile.attempt = ctx.attempt;
+    // Export before publishing: a parallel sweep writes each point's
+    // trace from its own worker, and the arch/mode/type-qualified file
+    // name keeps concurrent curves from colliding.
+    if (const std::string dir = prof::TraceDirectory(); !dir.empty()) {
+      prof::WriteChromeTrace(profile, dir);
+    }
+    m.profile = std::make_shared<const prof::Profile>(std::move(profile));
+  }
   return m;
 }
 

@@ -12,6 +12,7 @@
 #include "exec/kernel_cache.hpp"
 #include "exec/sweep_executor.hpp"
 #include "il/il.hpp"
+#include "prof/profile.hpp"
 #include "sim/gpu.hpp"
 
 namespace amdmb::suite {
@@ -29,6 +30,8 @@ struct Measurement {
   double seconds = 0.0;  ///< Timer over all repetitions.
   sim::KernelStats stats;
   compiler::SkaReport ska;
+  /// Null unless the launch was profiled (config.profile or AMDMB_PROF).
+  std::shared_ptr<const prof::Profile> profile;
 };
 
 /// Compiles and runs kernels on one GPU.
@@ -49,6 +52,10 @@ class Runner {
   /// of cache state), the launch is bounded by the watchdog budget
   /// (config.watchdog_cycles, else AMDMB_WATCHDOG), and every failure
   /// surfaces as a cal::CalError carrying the stage, point, and attempt.
+  /// When profiling is on (config.profile or AMDMB_PROF) a fresh
+  /// prof::Collector rides the launch — Measurement::profile is filled,
+  /// and with AMDMB_TRACE_DIR set the launch's Chrome trace is written
+  /// there before the measurement returns.
   Measurement Measure(const il::Kernel& kernel,
                       const sim::LaunchConfig& config,
                       const MeasureContext& ctx = {}) const;

@@ -17,6 +17,7 @@ ReadLatencyResult RunReadLatency(const Runner& runner, ShaderMode mode,
   launch.mode = mode;
   launch.block = config.block;
   launch.repetitions = config.repetitions;
+  launch.profile = config.profile;
   const WritePath write =
       mode == ShaderMode::kCompute ? WritePath::kGlobal : WritePath::kStream;
 

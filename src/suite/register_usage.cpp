@@ -16,6 +16,7 @@ RegisterUsageResult RunRegisterUsage(const Runner& runner, ShaderMode mode,
   launch.mode = mode;
   launch.block = config.block;
   launch.repetitions = config.repetitions;
+  launch.profile = config.profile;
 
   const std::size_t count = config.max_step - config.min_step + 1;
   auto slots = exec::ExecutorOrDefault(config.executor)

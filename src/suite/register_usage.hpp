@@ -30,6 +30,9 @@ struct RegisterUsageConfig {
   Domain domain{512, 512};
   BlockShape block{64, 1};
   unsigned repetitions = kPaperRepetitions;
+  /// Force hardware-counter profiling for every point of this sweep
+  /// (tests use this to bypass the cached AMDMB_PROF snapshot).
+  bool profile = false;
   bool clause_control = false;  ///< true -> the Fig. 5 control kernel.
   /// Sweep points run through this executor (null = the process default).
   const exec::SweepExecutor* executor = nullptr;

@@ -21,6 +21,7 @@ WriteLatencyResult RunWriteLatency(const Runner& runner, ShaderMode mode,
   launch.mode = mode;
   launch.block = config.block;
   launch.repetitions = config.repetitions;
+  launch.profile = config.profile;
   const WritePath write =
       mode == ShaderMode::kCompute ? WritePath::kGlobal : config.write_path;
 

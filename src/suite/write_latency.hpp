@@ -26,6 +26,9 @@ struct WriteLatencyConfig {
   BlockShape block{64, 1};
   WritePath write_path = WritePath::kStream;  ///< kGlobal for Fig. 14.
   unsigned repetitions = kPaperRepetitions;
+  /// Force hardware-counter profiling for every point of this sweep
+  /// (tests use this to bypass the cached AMDMB_PROF snapshot).
+  bool profile = false;
   /// Sweep points run through this executor (null = the process default).
   const exec::SweepExecutor* executor = nullptr;
   /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).

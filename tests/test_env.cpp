@@ -103,6 +103,48 @@ TEST(EnvTest, WatchdogRejectsNonNumeric) {
   EXPECT_EQ(env::ParseWatchdogCycles("4000000000"), 4000000000u);
 }
 
+TEST(EnvTest, ProfilerKnobsDefaultOff) {
+  const env::Options o = FakeEnv({}).Parse();
+  EXPECT_FALSE(o.prof);
+  EXPECT_FALSE(o.trace_dir.has_value());
+  EXPECT_EQ(o.trace_capacity, 1u << 20);
+}
+
+TEST(EnvTest, ParsesProfilerKnobs) {
+  const env::Options o = FakeEnv({{"AMDMB_PROF", "1"},
+                                  {"AMDMB_TRACE_DIR", "/tmp/traces"},
+                                  {"AMDMB_TRACE_CAP", "4096"}})
+                             .Parse();
+  EXPECT_TRUE(o.prof);
+  EXPECT_EQ(o.trace_dir, "/tmp/traces");
+  EXPECT_EQ(o.trace_capacity, 4096u);
+}
+
+TEST(EnvTest, ProfilerKnobsEmptyCountsAsUnset) {
+  const env::Options o = FakeEnv({{"AMDMB_PROF", ""},
+                                  {"AMDMB_TRACE_DIR", ""},
+                                  {"AMDMB_TRACE_CAP", ""}})
+                             .Parse();
+  EXPECT_FALSE(o.prof);
+  EXPECT_FALSE(o.trace_dir.has_value());
+  EXPECT_EQ(o.trace_capacity, 1u << 20);
+  EXPECT_FALSE(FakeEnv({{"AMDMB_PROF", "0"}}).Parse().prof);
+}
+
+TEST(EnvTest, TraceCapRejectsMalformedValuesNamingTheVariable) {
+  for (const char* bad : {"abc", "-1", "0", "12x"}) {
+    try {
+      FakeEnv({{"AMDMB_TRACE_CAP", bad}}).Parse();
+      FAIL() << "expected ConfigError for '" << bad << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("AMDMB_TRACE_CAP"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(env::ParseTraceCapacity("1"), 1u);
+  EXPECT_EQ(env::ParseTraceCapacity("1048576"), 1048576u);
+}
+
 TEST(EnvTest, GetIsStableAcrossCalls) {
   // Get() snapshots the process environment once; repeated calls return
   // the same object (the old per-site static caching, centralized).

@@ -7,10 +7,12 @@
 // the typed record model — no bench stdout scraping.
 //
 // Usage:
-//   amdmb_report <json-dir> [--out FILE] [--strict]
+//   amdmb_report <json-dir> [--out FILE] [--strict] [--figure SLUG] [--list]
 //
-//   --out FILE   write the markdown summary to FILE instead of stdout
-//   --strict     exit 1 when any expectation check fails or is missing
+//   --out FILE     write the markdown summary to FILE instead of stdout
+//   --strict       exit 1 when any expectation check fails or is missing
+//   --figure SLUG  aggregate only BENCH_<SLUG>.json (e.g. fig_7)
+//   --list         print the slug and title of every document, then exit
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,7 +28,8 @@ namespace {
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <json-dir> [--out FILE] [--strict]\n";
+            << " <json-dir> [--out FILE] [--strict] [--figure SLUG]"
+               " [--list]\n";
   return 2;
 }
 
@@ -35,13 +38,20 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string json_dir;
   std::string out_path;
+  std::string figure_slug;
   bool strict = false;
+  bool list = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       if (i + 1 >= argc) return Usage(argv[0]);
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--figure") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      figure_slug = argv[++i];
     } else if (argv[i][0] == '-') {
       return Usage(argv[0]);
     } else if (json_dir.empty()) {
@@ -54,11 +64,21 @@ int main(int argc, char** argv) {
 
   try {
     using namespace amdmb::report;
-    const std::vector<LoadedFigure> figures = LoadFigureDirectory(json_dir);
+    const std::vector<LoadedFigure> figures =
+        LoadFigureDirectory(json_dir, figure_slug);
     if (figures.empty()) {
-      std::cerr << "amdmb_report: no BENCH_*.json documents in " << json_dir
-                << "\n";
+      std::cerr << "amdmb_report: no "
+                << (figure_slug.empty()
+                        ? std::string("BENCH_*.json documents")
+                        : "BENCH_" + figure_slug + ".json")
+                << " in " << json_dir << "\n";
       return 2;
+    }
+    if (list) {
+      for (const LoadedFigure& figure : figures) {
+        std::cout << figure.Slug() << "\t" << figure.id << "\n";
+      }
+      return 0;
     }
     const std::vector<ExpectationResult> checks = CheckExpectations(figures);
     const std::string summary = SuiteSummaryMarkdown(figures, checks);
