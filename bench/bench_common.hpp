@@ -31,22 +31,34 @@
 
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "amdmb.hpp"
 #include "common/env.hpp"
+#include "common/interrupt.hpp"
 #include "exec/run_report.hpp"
 #include "report/csv_sink.hpp"
 #include "report/gnuplot_sink.hpp"
 #include "report/json_sink.hpp"
 #include "report/record.hpp"
 #include "report/text_sink.hpp"
+#include "suite/figures.hpp"
 
 namespace amdmb::bench {
 
 inline bool QuickMode() { return env::Get().quick; }
+
+/// The process-wide cancellation token the SIGINT/SIGTERM handler fires:
+/// sweeps wired to it skip their remaining points, so the binary falls
+/// through to the sinks and still flushes a (partial) report instead of
+/// dying mid-write.
+inline exec::CancelToken& InterruptToken() {
+  static exec::CancelToken token;
+  return token;
+}
 
 /// The figure under reproduction — a thin adapter over report::Figure:
 /// curves accumulate as the benchmarks run, findings carry the typed
@@ -173,18 +185,70 @@ inline int RunBenchMain(int argc, char** argv,
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+  // SIGINT/SIGTERM cut the run short between sweep points (via the
+  // interrupt token) and between curves (the registry bodies check
+  // InterruptRequested), then flush whatever was measured.
+  InstallInterruptHandlers();
+  NotifyFlagOnInterrupt(&InterruptToken().FlagForSignal());
   ::benchmark::Initialize(&argc, &argv[0]);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   try {
+    if (InterruptRequested()) {
+      const int signal_number = InterruptSignal();
+      for (FigureSink* sink : sinks) {
+        sink->Add({report::FindingKind::kEvent, "", "interrupted",
+                   static_cast<double>(signal_number), "signal",
+                   std::string(DescribeSignal(signal_number)) +
+                       " received — partial report, remaining sweep "
+                       "points skipped"});
+      }
+      std::cerr << "interrupted (" << DescribeSignal(signal_number)
+                << "), flushing partial report\n";
+    }
     for (FigureSink* sink : sinks) sink->Print();
   } catch (const std::exception& e) {
     std::cerr << "error: writing figure outputs failed: " << e.what()
               << "\n";
     return 1;
   }
-  return 0;
+  return InterruptRequested() ? 130 : 0;
+}
+
+/// Bench main for binaries whose figures live in the suite registry
+/// (suite/figures.hpp): registers one google-benchmark per curve of each
+/// named figure — names "<bench_prefix>/<curve>", unchanged from the
+/// former hand-rolled binaries — then runs the standard RunBenchMain
+/// flow. Sweeps are wired to the interrupt token, so Ctrl-C flushes a
+/// partial figure with an "interrupted" finding instead of truncating.
+inline int RunRegistryBenchMain(int argc, char** argv,
+                                const std::vector<std::string>& slugs) {
+  suite::figures::RunOptions opts;
+  opts.quick = QuickMode();
+  opts.cancel = &InterruptToken();
+  std::vector<std::unique_ptr<FigureSink>> owned;
+  std::vector<FigureSink*> sinks;
+  for (const std::string& slug : slugs) {
+    const suite::figures::FigureDef* def = suite::figures::Find(slug);
+    if (def == nullptr) {
+      std::cerr << "error: unknown figure slug: " << slug << "\n";
+      return 1;
+    }
+    auto sink = std::make_unique<FigureSink>(
+        def->id, def->title, def->x_label, def->y_label, def->paper_claim);
+    FigureSink* raw = sink.get();
+    for (const suite::figures::CurveDef& curve : def->curves) {
+      RegisterCurveBenchmark(
+          def->bench_prefix + "/" + curve.name, [raw, &curve, opts] {
+            if (InterruptRequested()) return 0.0;
+            return curve.run(raw->Record(), opts);
+          });
+    }
+    owned.push_back(std::move(sink));
+    sinks.push_back(raw);
+  }
+  return RunBenchMain(argc, argv, sinks);
 }
 
 }  // namespace amdmb::bench

@@ -2,51 +2,10 @@
 // GPUs x pixel/compute x float/float4; RV670 has no compute mode).
 // Texture reads, streaming stores (global writes in compute mode),
 // 1024x1024 domain, naive 64x1 compute blocks, ratios 0.25..8.0.
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 7 — ALU:Fetch Ratio for 16 Inputs", "ALU:Fetch Ratio",
-    "ALU:Fetch Ratio", "Time in seconds",
-    "Pixel float goes ALU-bound at ~1.25, pixel float4 at ~5.0 "
-    "(RV670/RV770) and ~9 on RV870; naive 64x1 compute crosses later "
-    "(float) and much later (float4); float/float4 converge once "
-    "ALU-bound.");
-
-AluFetchConfig Config() {
-  AluFetchConfig config;
-  if (bench::QuickMode()) {
-    config.domain = Domain{256, 256};
-    config.ratio_step = 1.0;
-  }
-  return config;
-}
-
-void Register() {
-  for (const CurveKey& key : PaperCurves()) {
-    bench::RegisterCurveBenchmark("Fig07/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const AluFetchResult r =
-          RunAluFetch(runner, key.mode, key.type, Config());
-      Series& series = g_sink.Set().Get(key.Name());
-      for (const AluFetchPoint& p : r.points) series.Add(p.ratio, p.m.seconds);
-      bench::NoteFaults(g_sink, key.Name(), r.report);
-      bench::NoteProfiles(g_sink, key.Name(), r.points);
-      if (r.points.empty()) return 0.0;
-      g_sink.Add(Findings(r, key.Name()));
-      return r.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_7"});
 }

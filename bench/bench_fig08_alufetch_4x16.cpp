@@ -1,62 +1,10 @@
 // Fig. 8: ALU:Fetch ratio for 16 inputs with a 4x16 compute block.
 // Compute-shader curves for RV770/RV870 only (the paper's legend), to be
 // compared against the naive 64x1 compute curves of Fig. 7.
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 8 — ALU:Fetch Ratio for 16 Inputs with Block Size of 4x16",
-    "ALU:Fetch Ratio (4x16 blocks)", "ALU:Fetch Ratio", "Time in seconds",
-    "The 2-D 4x16 block significantly improves compute mode over the "
-    "naive 64x1: ~3x on RV770 and ~4x on RV870 for float4; crossovers "
-    "move close to pixel mode's.");
-
-AluFetchConfig Config(BlockShape block) {
-  AluFetchConfig config;
-  config.block = block;
-  if (bench::QuickMode()) {
-    config.domain = Domain{256, 256};
-    config.ratio_step = 1.0;
-  }
-  return config;
-}
-
-void Register() {
-  for (const CurveKey& key : PaperCurves(/*include_pixel=*/false)) {
-    bench::RegisterCurveBenchmark("Fig08/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const AluFetchResult blocked =
-          RunAluFetch(runner, key.mode, key.type, Config(BlockShape{4, 16}));
-      const AluFetchResult naive =
-          RunAluFetch(runner, key.mode, key.type, Config(BlockShape{64, 1}));
-      Series& series = g_sink.Set().Get(key.Name());
-      for (const AluFetchPoint& p : blocked.points) {
-        series.Add(p.ratio, p.m.seconds);
-      }
-      bench::NoteFaults(g_sink, key.Name() + " 4x16", blocked.report);
-      bench::NoteProfiles(g_sink, key.Name() + " 4x16", blocked.points);
-      bench::NoteFaults(g_sink, key.Name() + " 64x1", naive.report);
-      bench::NoteProfiles(g_sink, key.Name() + " 64x1", naive.points);
-      if (blocked.points.empty() || naive.points.empty()) return 0.0;
-      g_sink.Add(Findings(blocked, key.Name()));
-      g_sink.Add({report::FindingKind::kRatio, key.Name(),
-                  "block_4x16_speedup",
-                  naive.points.front().m.seconds /
-                      blocked.points.front().m.seconds,
-                  "x", "4x16 over 64x1 in the fetch-bound region"});
-      return blocked.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_8"});
 }

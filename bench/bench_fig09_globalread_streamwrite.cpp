@@ -1,64 +1,10 @@
 // Fig. 9: ALU:Fetch ratio for 16 inputs read from global memory with
 // streaming stores — pixel-shader curves for all three GPUs (the
 // paper's legend shows the six pixel curves).
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 9 — ALU:Fetch Ratio for 16 Inputs using Global Read",
-    "ALU:Fetch Ratio (global read, stream write)", "ALU:Fetch Ratio",
-    "Time in seconds",
-    "RV670's global-memory reads are very slow relative to its texture "
-    "path; RV770/RV870 read global memory at or slightly above their "
-    "naive compute texture-fetch speed.");
-
-AluFetchConfig Config() {
-  AluFetchConfig config;
-  config.read_path = ReadPath::kGlobal;
-  config.write_path = WritePath::kStream;
-  if (bench::QuickMode()) {
-    config.domain = Domain{256, 256};
-    config.ratio_step = 1.0;
-  }
-  return config;
-}
-
-void Register() {
-  for (const CurveKey& key : PaperCurves(/*include_pixel=*/true,
-                                         /*include_compute=*/false)) {
-    bench::RegisterCurveBenchmark("Fig09/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const AluFetchResult r =
-          RunAluFetch(runner, key.mode, key.type, Config());
-      // Texture-read counterpart for the paper's comparison.
-      AluFetchConfig tex = Config();
-      tex.read_path = ReadPath::kTexture;
-      const AluFetchResult t = RunAluFetch(runner, key.mode, key.type, tex);
-      Series& series = g_sink.Set().Get(key.Name());
-      for (const AluFetchPoint& p : r.points) series.Add(p.ratio, p.m.seconds);
-      bench::NoteFaults(g_sink, key.Name() + " global", r.report);
-      bench::NoteProfiles(g_sink, key.Name() + " global", r.points);
-      bench::NoteFaults(g_sink, key.Name() + " texture", t.report);
-      bench::NoteProfiles(g_sink, key.Name() + " texture", t.points);
-      if (r.points.empty() || t.points.empty()) return 0.0;
-      g_sink.Add(Findings(r, key.Name()));
-      g_sink.Add({report::FindingKind::kRatio, key.Name(),
-                  "global_vs_texture_ratio",
-                  r.points.front().m.seconds / t.points.front().m.seconds,
-                  "x", "global-read over texture-read flat-region time"});
-      return r.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_9"});
 }

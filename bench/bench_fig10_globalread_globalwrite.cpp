@@ -1,70 +1,10 @@
 // Fig. 10: ALU:Fetch ratio for 16 inputs using global read AND global
 // write — RV770/RV870 in both modes (the paper's legend). With one
 // small output, this should be near-identical to Fig. 9.
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 10 — ALU:Fetch Ratio for 16 Inputs using Global Read and Write",
-    "ALU:Fetch Ratio (global read + global write)", "ALU:Fetch Ratio",
-    "Time in seconds",
-    "Little difference from Fig. 9 for RV770/RV870: with a single small "
-    "output, streaming store vs global write is negligible.");
-
-AluFetchConfig Config(WritePath write) {
-  AluFetchConfig config;
-  config.read_path = ReadPath::kGlobal;
-  config.write_path = write;
-  if (bench::QuickMode()) {
-    config.domain = Domain{256, 256};
-    config.ratio_step = 1.0;
-  }
-  return config;
-}
-
-void Register() {
-  const std::vector<GpuArch> archs = {MakeRV770(), MakeRV870()};
-  for (const CurveKey& key : PaperCurves(true, true, archs)) {
-    bench::RegisterCurveBenchmark("Fig10/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const AluFetchResult global =
-          RunAluFetch(runner, key.mode, key.type, Config(WritePath::kGlobal));
-      Series& series = g_sink.Set().Get(key.Name());
-      for (const AluFetchPoint& p : global.points) {
-        series.Add(p.ratio, p.m.seconds);
-      }
-      bench::NoteFaults(g_sink, key.Name(), global.report);
-      bench::NoteProfiles(g_sink, key.Name(), global.points);
-      if (global.points.empty()) return 0.0;
-      g_sink.Add(Findings(global, key.Name()));
-      if (key.mode == ShaderMode::kPixel) {
-        const AluFetchResult stream = RunAluFetch(runner, key.mode, key.type,
-                                                  Config(WritePath::kStream));
-        bench::NoteFaults(g_sink, key.Name() + " stream", stream.report);
-        bench::NoteProfiles(g_sink, key.Name() + " stream", stream.points);
-        if (!stream.points.empty()) {
-          g_sink.Add({report::FindingKind::kRatio, key.Name(),
-                      "global_vs_stream_write_ratio",
-                      global.points.front().m.seconds /
-                          stream.points.front().m.seconds,
-                      "x",
-                      "global-write over stream-write in the fetch-bound "
-                      "region (paper: negligible difference)"});
-        }
-      }
-      return global.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_10"});
 }

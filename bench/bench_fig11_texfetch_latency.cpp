@@ -1,48 +1,9 @@
 // Fig. 11: texture fetch latency — time vs number of inputs (2..18)
 // with the ALU budget pinned at inputs-1, all ten paper curves.
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 11 — Texture Fetch Latency", "Texture Fetch Latency",
-    "Number of Inputs", "Time in seconds",
-    "Latency is linear in the input count; n float4 fetches cost about "
-    "the same as 4n float fetches; fetch times shrink with each "
-    "generation; RV870 shows a cache-driven jump as inputs grow.");
-
-ReadLatencyConfig Config() {
-  ReadLatencyConfig config;
-  if (bench::QuickMode()) config.domain = Domain{256, 256};
-  return config;
-}
-
-void Register() {
-  for (const CurveKey& key : PaperCurves()) {
-    bench::RegisterCurveBenchmark("Fig11/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const ReadLatencyResult r =
-          RunReadLatency(runner, key.mode, key.type, Config());
-      Series& series = g_sink.Set().Get(key.Name());
-      for (const ReadLatencyPoint& p : r.points) {
-        series.Add(p.inputs, p.m.seconds);
-      }
-      bench::NoteFaults(g_sink, key.Name(), r.report);
-      bench::NoteProfiles(g_sink, key.Name(), r.points);
-      if (r.points.empty()) return 0.0;
-      g_sink.Add(Findings(r, key.Name()));
-      return r.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_11"});
 }

@@ -1,49 +1,9 @@
 // Fig. 12: global read latency — time vs number of inputs (2..18) with
 // inputs read from uncached global memory, all ten paper curves.
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 12 — Global Read Latency", "Global Read Latency",
-    "Number of Inputs", "Time in seconds",
-    "Linear; dramatic improvement from RV670 to RV770/RV870; roughly the "
-    "same for float and float4 and for pixel vs compute mode — the GPU "
-    "is becoming more generalized with each generation.");
-
-ReadLatencyConfig Config() {
-  ReadLatencyConfig config;
-  config.read_path = ReadPath::kGlobal;
-  if (bench::QuickMode()) config.domain = Domain{256, 256};
-  return config;
-}
-
-void Register() {
-  for (const CurveKey& key : PaperCurves()) {
-    bench::RegisterCurveBenchmark("Fig12/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const ReadLatencyResult r =
-          RunReadLatency(runner, key.mode, key.type, Config());
-      Series& series = g_sink.Set().Get(key.Name());
-      for (const ReadLatencyPoint& p : r.points) {
-        series.Add(p.inputs, p.m.seconds);
-      }
-      bench::NoteFaults(g_sink, key.Name(), r.report);
-      bench::NoteProfiles(g_sink, key.Name(), r.points);
-      if (r.points.empty()) return 0.0;
-      g_sink.Add(Findings(r, key.Name()));
-      return r.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_12"});
 }

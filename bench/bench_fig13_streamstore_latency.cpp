@@ -1,55 +1,10 @@
 // Fig. 13: streaming store latency — time vs number of outputs (1..8)
 // with eight inputs (pinning GPR usage) and a low constant ALU budget;
 // pixel-shader curves only (color buffers do not exist in compute mode).
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 13 — Streaming Store Latency", "Streaming Store Latency",
-    "Number of Outputs", "Time in seconds",
-    "Linear in the output count with a flat fetch-bound region at small "
-    "outputs; output vectorization yields the same or better performance "
-    "(bursts absorb the extra bytes).");
-
-WriteLatencyConfig Config() {
-  WriteLatencyConfig config;
-  config.write_path = WritePath::kStream;
-  if (bench::QuickMode()) config.domain = Domain{256, 256};
-  return config;
-}
-
-void Register() {
-  for (const CurveKey& key : PaperCurves(/*include_pixel=*/true,
-                                         /*include_compute=*/false)) {
-    bench::RegisterCurveBenchmark("Fig13/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const WriteLatencyResult r =
-          RunWriteLatency(runner, key.mode, key.type, Config());
-      Series& series = g_sink.Set().Get(key.Name());
-      for (const WriteLatencyPoint& p : r.points) {
-        series.Add(p.outputs, p.m.seconds);
-      }
-      bench::NoteFaults(g_sink, key.Name(), r.report);
-      bench::NoteProfiles(g_sink, key.Name(), r.points);
-      if (r.points.empty()) return 0.0;
-      std::vector<report::Finding> findings = Findings(r, key.Name());
-      findings.front().detail =
-          "first point bottleneck " +
-          std::string(sim::ToString(r.points.front().m.stats.bottleneck));
-      g_sink.Add(std::move(findings));
-      return r.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_13"});
 }

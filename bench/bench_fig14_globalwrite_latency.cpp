@@ -1,52 +1,9 @@
 // Fig. 14: global write latency — time vs number of outputs (1..8)
 // writing uncached global memory, all ten paper curves.
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 14 — Global Write Latency", "Global Write Latency",
-    "Number of Outputs", "Time in seconds",
-    "Each 32-bit element writes at a constant rate: float4 takes ~4x the "
-    "float time; small output counts stay fetch-bound (flat region).");
-
-WriteLatencyConfig Config() {
-  WriteLatencyConfig config;
-  config.write_path = WritePath::kGlobal;
-  if (bench::QuickMode()) config.domain = Domain{256, 256};
-  return config;
-}
-
-void Register() {
-  for (const CurveKey& key : PaperCurves()) {
-    bench::RegisterCurveBenchmark("Fig14/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const WriteLatencyResult r =
-          RunWriteLatency(runner, key.mode, key.type, Config());
-      Series& series = g_sink.Set().Get(key.Name());
-      for (const WriteLatencyPoint& p : r.points) {
-        series.Add(p.outputs, p.m.seconds);
-      }
-      bench::NoteFaults(g_sink, key.Name(), r.report);
-      bench::NoteProfiles(g_sink, key.Name(), r.points);
-      if (r.points.empty()) return 0.0;
-      std::vector<report::Finding> findings = Findings(r, key.Name());
-      findings.front().detail =
-          "last point bottleneck " +
-          std::string(sim::ToString(r.points.back().m.stats.bottleneck));
-      g_sink.Add(std::move(findings));
-      return r.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_14"});
 }

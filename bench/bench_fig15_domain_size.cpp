@@ -1,76 +1,11 @@
 // Fig. 15: impact of domain size — ALU-bound kernel (ratio 10, eight
 // inputs, one output) over 256x256..1024x1024 domains.
 // (a) pixel shader, 8x8 increments; (b) compute shader, 64x64 increments.
+// The figure definitions live in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweeps.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_pixel(
-    "Fig. 15a — Domain Size, Pixel Shader", "Domain Size Pixel Shader",
-    "Domain Size", "Time in seconds",
-    "Time grows overall-linearly in the thread count with small local "
-    "wobble (wavefront imbalance across SIMDs); a large thread count is "
-    "needed to keep the GPU busy; float == float4 when ALU-bound.");
-
-FigureSink g_compute(
-    "Fig. 15b — Domain Size, Compute Shader", "Domain Size Compute Shader",
-    "Domain Size", "Time in seconds",
-    "Same shape as pixel mode; compute elements pad to multiples of 64.");
-
-DomainSizeConfig Config(bool quick) {
-  DomainSizeConfig config;
-  if (quick) {
-    config.max_size = 512;
-    config.pixel_increment = 64;
-  }
-  return config;
-}
-
-void Register() {
-  const bool quick = bench::QuickMode();
-  for (const ShaderMode mode : {ShaderMode::kPixel, ShaderMode::kCompute}) {
-    FigureSink& sink = mode == ShaderMode::kPixel ? g_pixel : g_compute;
-    for (const GpuArch& arch : AllArchs()) {
-      if (mode == ShaderMode::kCompute && !arch.supports_compute) continue;
-      const CurveKey key{arch, mode, DataType::kFloat};
-      std::string label = key.Name().substr(0, key.Name().find(' '));
-      bench::RegisterCurveBenchmark(
-          "Fig15/" + std::string(ToString(mode)) + "/" + label,
-          [&sink, key, label, quick] {
-            Runner runner(key.arch);
-            const DomainSizeResult f =
-                RunDomainSize(runner, key.mode, DataType::kFloat,
-                              Config(quick));
-            const DomainSizeResult f4 =
-                RunDomainSize(runner, key.mode, DataType::kFloat4,
-                              Config(quick));
-            Series& series = sink.Set().Get(label);
-            for (const DomainSizePoint& p : f.points) {
-              series.Add(p.size, p.m.seconds);
-            }
-            bench::NoteFaults(sink, label + " float", f.report);
-            bench::NoteProfiles(sink, label + " float", f.points);
-            bench::NoteFaults(sink, label + " float4", f4.report);
-            bench::NoteProfiles(sink, label + " float4", f4.points);
-            if (f.points.empty() || f4.points.empty()) return 0.0;
-            sink.Add(Findings(f, label));
-            sink.Add({report::FindingKind::kRatio, label,
-                      "float4_float_max_domain_ratio",
-                      f4.points.back().m.seconds / f.points.back().m.seconds,
-                      "x", "ALU-bound => ~1.0"});
-            return f.points.back().m.seconds;
-          });
-    }
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_pixel, &g_compute});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv,
+                                            {"fig_15a", "fig_15b"});
 }

@@ -2,53 +2,10 @@
 // space 8, step 0..7 (GPRs ~64 down to ~9), ALU:Fetch ratio 4.0, all ten
 // paper curves. X axis is the compiled GPR count, descending as in the
 // paper.
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 16 — Impact of Register Usage", "Register Pressure Effect",
-    "Global Purpose Registers", "Time in seconds",
-    "Fewer GPRs -> more simultaneous wavefronts -> fetch latency hidden "
-    "-> faster, levelling off once the kernel goes ALU-bound; RV870 "
-    "benefits less (smaller cache).");
-
-RegisterUsageConfig Config() {
-  RegisterUsageConfig config;
-  if (bench::QuickMode()) config.domain = Domain{256, 256};
-  return config;
-}
-
-void Register() {
-  for (const CurveKey& key : PaperCurves()) {
-    bench::RegisterCurveBenchmark("Fig16/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const RegisterUsageResult r =
-          RunRegisterUsage(runner, key.mode, key.type, Config());
-      Series& series = g_sink.Set().Get(key.Name());
-      for (const RegisterUsagePoint& p : r.points) {
-        series.Add(p.gpr_count, p.m.seconds);
-      }
-      bench::NoteFaults(g_sink, key.Name(), r.report);
-      bench::NoteProfiles(g_sink, key.Name(), r.points);
-      if (r.points.empty()) return 0.0;
-      std::vector<report::Finding> findings = Findings(r, key.Name());
-      findings.back().detail =
-          "final bottleneck " +
-          std::string(sim::ToString(r.points.back().m.stats.bottleneck));
-      g_sink.Add(std::move(findings));
-      return r.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_16"});
 }

@@ -1,67 +1,10 @@
 // Fig. 17: impact of register usage with a 4x16 compute block —
 // RV770/RV870 compute curves, to be compared against Fig. 16's naive
 // 64x1 compute curves.
+// The figure definition lives in the suite registry (suite/figures.hpp)
+// so the amdmb_serve daemon runs the identical sweep.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace amdmb;
-using namespace amdmb::suite;
-using bench::FigureSink;
-
-FigureSink g_sink(
-    "Fig. 17 — Impact of Register Usage with Block Size of 4x16",
-    "Register Pressure Effect for 4x16 Block Size",
-    "Global Purpose Registers", "Time in seconds",
-    "With 4x16 blocks the sweep sits below its 64x1 counterpart at every "
-    "register count (better cache behaviour), even where added "
-    "wavefronts erode some of the gain.");
-
-RegisterUsageConfig Config(BlockShape block) {
-  RegisterUsageConfig config;
-  config.block = block;
-  if (bench::QuickMode()) config.domain = Domain{256, 256};
-  return config;
-}
-
-void Register() {
-  for (const CurveKey& key : PaperCurves(/*include_pixel=*/false)) {
-    bench::RegisterCurveBenchmark("Fig17/" + key.Name(), [key] {
-      Runner runner(key.arch);
-      const RegisterUsageResult blocked = RunRegisterUsage(
-          runner, key.mode, key.type, Config(BlockShape{4, 16}));
-      const RegisterUsageResult naive = RunRegisterUsage(
-          runner, key.mode, key.type, Config(BlockShape{64, 1}));
-      Series& series = g_sink.Set().Get(key.Name());
-      bench::NoteFaults(g_sink, key.Name() + " 4x16", blocked.report);
-      bench::NoteProfiles(g_sink, key.Name() + " 4x16", blocked.points);
-      bench::NoteFaults(g_sink, key.Name() + " 64x1", naive.report);
-      bench::NoteProfiles(g_sink, key.Name() + " 64x1", naive.points);
-      double worst_gain = 1e9;
-      const std::size_t paired =
-          std::min(blocked.points.size(), naive.points.size());
-      for (std::size_t i = 0; i < blocked.points.size(); ++i) {
-        series.Add(blocked.points[i].gpr_count, blocked.points[i].m.seconds);
-      }
-      for (std::size_t i = 0; i < paired; ++i) {
-        worst_gain = std::min(worst_gain, naive.points[i].m.seconds /
-                                              blocked.points[i].m.seconds);
-      }
-      if (blocked.points.empty()) return 0.0;
-      g_sink.Add(Findings(blocked, key.Name()));
-      if (paired > 0) {
-        g_sink.Add({report::FindingKind::kRatio, key.Name(),
-                    "block_4x16_min_gain", worst_gain, "x",
-                    "minimum 64x1/4x16 time ratio across the sweep"});
-      }
-      return blocked.points.back().m.seconds;
-    });
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Register();
-  return amdmb::bench::RunBenchMain(argc, argv, {&g_sink});
+  return amdmb::bench::RunRegistryBenchMain(argc, argv, {"fig_17"});
 }

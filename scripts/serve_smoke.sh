@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the amdmb_serve daemon:
+#
+#   1. start amdmb_serve on a private socket,
+#   2. submit a quick fig07 sweep through amdmb_client and diff the
+#      returned document against the standalone bench binary's
+#      BENCH_fig_7.json (byte-identical is the contract),
+#   3. submit it again and assert the shared kernel cache was hit,
+#   4. run the deterministic load generator,
+#   5. SIGTERM the daemon and assert a clean drain (exit 0).
+#
+# Usage: scripts/serve_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: serve_smoke.sh <build-dir>}
+WORK_DIR=$(mktemp -d)
+SOCKET="$WORK_DIR/serve.sock"
+SERVE="$BUILD_DIR/tools/amdmb_serve"
+CLIENT="$BUILD_DIR/tools/amdmb_client"
+BENCH="$BUILD_DIR/bench/bench_fig07_alufetch"
+
+# The daemon stamps meta.quick from the request, the bench binary from
+# AMDMB_QUICK — run both quick so the documents must agree bytewise.
+export AMDMB_QUICK=1
+
+SERVE_PID=
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -KILL "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+echo "== starting amdmb_serve on $SOCKET"
+"$SERVE" --socket "$SOCKET" --queue 4 --inflight 1 \
+  > "$WORK_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 50); do
+  [[ -S "$SOCKET" ]] && break
+  sleep 0.1
+done
+[[ -S "$SOCKET" ]] || { cat "$WORK_DIR/serve.log"; exit 1; }
+
+echo "== standalone bench run (the byte-compatibility reference)"
+( cd "$WORK_DIR" && AMDMB_JSON_DIR="$WORK_DIR" "$BENCH" > bench.log 2>&1 )
+[[ -f "$WORK_DIR/BENCH_fig_7.json" ]]
+
+echo "== first served request"
+"$CLIENT" submit fig07 --quick --socket "$SOCKET" \
+  > "$WORK_DIR/got.json" 2> "$WORK_DIR/first.log"
+diff "$WORK_DIR/BENCH_fig_7.json" "$WORK_DIR/got.json"
+echo "   served document is byte-identical to the bench binary's"
+
+FIRST_HITS=$("$CLIENT" stats --socket "$SOCKET" \
+  | sed -n 's/^kernel cache: \([0-9]*\) hits.*/\1/p')
+
+echo "== second served request (must hit the shared kernel cache)"
+"$CLIENT" submit fig07 --quick --quiet --socket "$SOCKET" \
+  > "$WORK_DIR/got2.json" 2> "$WORK_DIR/second.log"
+diff "$WORK_DIR/got.json" "$WORK_DIR/got2.json"
+SECOND_HITS=$("$CLIENT" stats --socket "$SOCKET" \
+  | sed -n 's/^kernel cache: \([0-9]*\) hits.*/\1/p')
+echo "   cache hits: $FIRST_HITS -> $SECOND_HITS"
+[[ "$SECOND_HITS" -gt "$FIRST_HITS" ]] || {
+  echo "second request did not hit the kernel cache"; exit 1;
+}
+
+echo "== deterministic load generator"
+"$CLIENT" bench --requests 4 --concurrency 2 --seed 7 \
+  --figures fig_7 --socket "$SOCKET"
+
+echo "== SIGTERM drain"
+kill -TERM "$SERVE_PID"
+DRAIN_EXIT=0
+wait "$SERVE_PID" || DRAIN_EXIT=$?
+SERVE_PID=
+cat "$WORK_DIR/serve.log"
+[[ "$DRAIN_EXIT" -eq 0 ]] || {
+  echo "daemon exited $DRAIN_EXIT, expected clean drain (0)"; exit 1;
+}
+[[ ! -S "$SOCKET" ]] || { echo "socket not unlinked on drain"; exit 1; }
+echo "== serve smoke passed"

@@ -56,6 +56,27 @@ std::size_t ParseTraceCapacity(std::string_view text) {
   return static_cast<std::size_t>(n);
 }
 
+std::size_t ParseServeQueue(std::string_view text) {
+  std::uint64_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), n);
+  Require(ec == std::errc() && ptr == text.data() + text.size() && n <= 4096,
+          "AMDMB_SERVE_QUEUE='" + std::string(text) +
+              "': must be a queue depth in [0, 4096]");
+  return static_cast<std::size_t>(n);
+}
+
+unsigned ParseServeInflight(std::string_view text) {
+  std::uint64_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), n);
+  Require(ec == std::errc() && ptr == text.data() + text.size() && n >= 1 &&
+              n <= 64,
+          "AMDMB_SERVE_INFLIGHT='" + std::string(text) +
+              "': must be a concurrent-sweep bound in [1, 64]");
+  return static_cast<unsigned>(n);
+}
+
 Options ParseFrom(const std::function<const char*(const char*)>& lookup) {
   Options options;
   if (const auto v = NonEmpty(lookup("AMDMB_QUICK"))) {
@@ -77,6 +98,13 @@ Options ParseFrom(const std::function<const char*(const char*)>& lookup) {
   options.trace_dir = NonEmpty(lookup("AMDMB_TRACE_DIR"));
   if (const auto v = NonEmpty(lookup("AMDMB_TRACE_CAP"))) {
     options.trace_capacity = ParseTraceCapacity(*v);
+  }
+  options.serve_socket = NonEmpty(lookup("AMDMB_SERVE_SOCKET"));
+  if (const auto v = NonEmpty(lookup("AMDMB_SERVE_QUEUE"))) {
+    options.serve_queue = ParseServeQueue(*v);
+  }
+  if (const auto v = NonEmpty(lookup("AMDMB_SERVE_INFLIGHT"))) {
+    options.serve_inflight = ParseServeInflight(*v);
   }
   return options;
 }

@@ -17,6 +17,9 @@
 //   AMDMB_PROF       hardware-counter profiling ("1" on, "0"/unset off).
 //   AMDMB_TRACE_DIR  Chrome-trace (trace_event JSON) output directory.
 //   AMDMB_TRACE_CAP  per-launch trace/event capacity, positive integer.
+//   AMDMB_SERVE_SOCKET    amdmb_serve / amdmb_client Unix-socket path.
+//   AMDMB_SERVE_QUEUE     daemon admission queue depth, [0, 4096].
+//   AMDMB_SERVE_INFLIGHT  daemon max concurrent sweeps, [1, 64].
 #pragma once
 
 #include <cstdint>
@@ -42,7 +45,16 @@ struct Options {
   bool prof = false;                     ///< AMDMB_PROF.
   std::optional<std::string> trace_dir;  ///< AMDMB_TRACE_DIR.
   std::size_t trace_capacity = 1u << 20; ///< AMDMB_TRACE_CAP.
+  /// AMDMB_SERVE_SOCKET; the daemon and client fall back to
+  /// kDefaultServeSocket when unset.
+  std::optional<std::string> serve_socket;
+  std::size_t serve_queue = 16;          ///< AMDMB_SERVE_QUEUE, [0, 4096].
+  unsigned serve_inflight = 1;           ///< AMDMB_SERVE_INFLIGHT, [1, 64].
 };
+
+/// Socket path used when AMDMB_SERVE_SOCKET is unset.
+inline constexpr std::string_view kDefaultServeSocket =
+    "/tmp/amdmb_serve.sock";
 
 /// Worker-count grammar shared by AMDMB_THREADS and explicit configs:
 /// a positive integer no larger than 4096. Throws ConfigError.
@@ -55,6 +67,14 @@ std::uint64_t ParseWatchdogCycles(std::string_view text);
 /// AMDMB_TRACE_CAP grammar: a positive event count (the bound on both
 /// sim::Trace and prof::Collector event buffers). Throws ConfigError.
 std::size_t ParseTraceCapacity(std::string_view text);
+
+/// AMDMB_SERVE_QUEUE grammar: a queue depth in [0, 4096] (0 = no
+/// queueing beyond the in-flight slots). Throws ConfigError.
+std::size_t ParseServeQueue(std::string_view text);
+
+/// AMDMB_SERVE_INFLIGHT grammar: concurrent-sweep bound in [1, 64].
+/// Throws ConfigError.
+unsigned ParseServeInflight(std::string_view text);
 
 /// Pure parser behind Get(): `lookup` plays the role of getenv (returns
 /// nullptr when a variable is unset; empty strings count as unset, the

@@ -58,4 +58,16 @@ LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
 
 double SafeRatio(double num, double den) { return den == 0.0 ? 0.0 : num / den; }
 
+double Percentile(std::vector<double> samples, double p) {
+  Check(p >= 0.0 && p <= 100.0, "Percentile: p outside [0, 100]");
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank =
+      (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
 }  // namespace amdmb

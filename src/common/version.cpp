@@ -1,0 +1,13 @@
+#include "common/version.hpp"
+
+namespace amdmb {
+
+std::string_view SuiteVersion() {
+#ifdef AMDMB_GIT_DESCRIBE
+  return AMDMB_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace amdmb

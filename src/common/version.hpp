@@ -1,0 +1,17 @@
+// The one place the suite's version string lives.
+//
+// The build stamps `git describe` into version.cpp (AMDMB_GIT_DESCRIBE,
+// set by CMake); every consumer — the BENCH json meta block, the
+// amdmb_report / amdmb_prof CLIs, the amdmb_serve stats response —
+// reads it from here so all outputs of one build agree on one string.
+#pragma once
+
+#include <string_view>
+
+namespace amdmb {
+
+/// The build's `git describe --always --dirty --tags`, or "unknown"
+/// when the tree was built outside a git checkout.
+std::string_view SuiteVersion();
+
+}  // namespace amdmb

@@ -33,7 +33,7 @@ struct PointOutcome {
   std::size_t index = 0;
   std::string label;  ///< Caller-set point name; defaults to "point <i>".
   PointStatus status = PointStatus::kOk;
-  unsigned attempts = 1;       ///< Total attempts made (>= 1).
+  unsigned attempts = 1;  ///< Attempts made (0: cancelled before starting).
   double wall_seconds = 0.0;   ///< Real time across attempts (informational).
   std::string error;           ///< Last failure message; empty when kOk.
 };

@@ -41,6 +41,31 @@ namespace amdmb::exec {
 /// non-std::exception payloads).
 std::string DescribeException(const std::exception_ptr& error);
 
+/// Cooperative sweep cancellation. A token is set once (Cancel) and
+/// polled by MapWithPolicy before every point: points not yet started
+/// when the token fires are skipped (status kSkipped, error
+/// "cancelled") instead of run, regardless of the failure policy —
+/// cancellation is intent, not a fault. Points already executing run
+/// to completion, so a cancelled sweep still returns well-formed
+/// partial results. Thread-safe; never resets outside tests.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void ResetForTest() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  /// The raw flag, for registering with common/interrupt's signal
+  /// handler (NotifyFlagOnInterrupt): the handler's relaxed store on the
+  /// lock-free atomic is async-signal-safe where a call through
+  /// arbitrary code would not be.
+  std::atomic<bool>& FlagForSignal() { return cancelled_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
 /// Sleeps the calling thread for `ms` milliseconds (no-op for ms <= 0).
 void SleepForMs(double ms);
 
@@ -102,10 +127,13 @@ class SweepExecutor {
   /// non-transient failure — aggregated into a SweepError thrown after
   /// all points finish under kFailFast. When `report` is non-null it
   /// receives one index-ordered PointOutcome per point (labels default
-  /// to "point <i>"; callers may rename them afterwards).
+  /// to "point <i>"; callers may rename them afterwards). When `cancel`
+  /// is non-null and fires, points not yet started are skipped (see
+  /// CancelToken).
   template <typename Fn>
   auto MapWithPolicy(std::size_t n, Fn&& fn, const RetryPolicy& policy,
-                     RunReport* report = nullptr) const {
+                     RunReport* report = nullptr,
+                     const CancelToken* cancel = nullptr) const {
     using R = std::invoke_result_t<Fn&, std::size_t, unsigned>;
     static_assert(!std::is_void_v<R>,
                   "MapWithPolicy requires a result per point");
@@ -119,6 +147,12 @@ class SweepExecutor {
       PointOutcome& out = outcomes[i];
       out.index = i;
       out.label = "point " + std::to_string(i);
+      if (cancel != nullptr && cancel->Cancelled()) {
+        out.status = PointStatus::kSkipped;
+        out.attempts = 0;
+        out.error = "cancelled";
+        return;
+      }
       const auto start = std::chrono::steady_clock::now();
       for (unsigned attempt = 1; attempt <= policy.max_attempts; ++attempt) {
         out.attempts = attempt;

@@ -134,13 +134,29 @@ LoadedFigure LoadFigureJson(std::string_view text,
               (source.empty() ? std::string()
                               : " in " + source.string()));
 
+  // schema_version is optional (pre-v2 writers omitted it, meaning 1),
+  // but when present it must be a number we know how to read. A v3 doc
+  // may rename fields we silently default, so refusing is the only way
+  // to keep "loaded" meaning "understood".
+  int schema_version = 1;
+  if (const JsonValue* v = doc.Find("schema_version")) {
+    const std::string where =
+        source.empty() ? std::string() : " in " + source.string();
+    Require(v->type() == JsonValue::Type::kNumber,
+            "LoadFigureJson: \"schema_version\" is not a number" + where);
+    schema_version = static_cast<int>(v->AsNumber());
+    Require(schema_version >= 1 && schema_version <= 2,
+            "LoadFigureJson: unsupported schema_version " +
+                std::to_string(schema_version) + " (supported: 1..2)" +
+                where);
+  }
+
   LoadedFigure figure;
   figure.source = std::move(source);
   figure.id = figure_id->AsString();
   figure.title = doc.StringOr("title", "");
   figure.paper_claim = doc.StringOr("paper_claim", "");
-  figure.schema_version =
-      static_cast<int>(doc.NumberOr("schema_version", 1.0));
+  figure.schema_version = schema_version;
   figure.meta = MetaFrom(doc);
   figure.notes = StringList(doc.Find("notes"));
   figure.findings = FindingsFrom(doc);

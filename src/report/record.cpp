@@ -6,6 +6,7 @@
 #include "common/env.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
+#include "common/version.hpp"
 #include "exec/run_report.hpp"
 #include "exec/thread_pool.hpp"
 #include "prof/profile.hpp"
@@ -19,6 +20,7 @@ std::string_view ToString(FindingKind kind) {
     case FindingKind::kSlope: return "slope";
     case FindingKind::kPlateau: return "plateau";
     case FindingKind::kRatio: return "ratio";
+    case FindingKind::kEvent: return "event";
   }
   throw SimError("ToString(FindingKind): unknown value");
 }
@@ -28,6 +30,7 @@ std::optional<FindingKind> FindingKindFromString(std::string_view name) {
   if (name == "slope") return FindingKind::kSlope;
   if (name == "plateau") return FindingKind::kPlateau;
   if (name == "ratio") return FindingKind::kRatio;
+  if (name == "event") return FindingKind::kEvent;
   return std::nullopt;
 }
 
@@ -115,11 +118,7 @@ ProfileEntry MakeProfileEntry(const std::string& curve,
 
 RunMeta CollectRunMeta() {
   RunMeta meta;
-#ifdef AMDMB_GIT_DESCRIBE
-  meta.suite_version = AMDMB_GIT_DESCRIBE;
-#else
-  meta.suite_version = "unknown";
-#endif
+  meta.suite_version = std::string(SuiteVersion());
   const env::Options& options = env::Get();
   meta.threads = exec::DefaultThreadCount();
   meta.quick = options.quick;

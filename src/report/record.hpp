@@ -46,6 +46,7 @@ enum class FindingKind {
   kSlope,      ///< Fitted rate (e.g. seconds per input).
   kPlateau,    ///< A measured level (flat-region height, endpoint time).
   kRatio,      ///< Dimensionless comparison (speedup, fit R^2, gap).
+  kEvent,      ///< Run-level occurrence (e.g. "interrupted" partial run).
 };
 
 std::string_view ToString(FindingKind kind);

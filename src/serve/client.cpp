@@ -1,0 +1,223 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+
+namespace amdmb::serve {
+
+Client Client::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw ConfigError("client: socket path too long: " + socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ConfigError(std::string("client: socket() failed: ") +
+                      std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ConfigError("client: connect(" + socket_path +
+                      ") failed: " + std::strerror(err) +
+                      " (is amdmb_serve running?)");
+  }
+  return Client(fd);
+}
+
+Event Client::NextEvent() {
+  std::optional<std::string> line = session_->ReadLine();
+  if (!line.has_value()) {
+    throw ConfigError("client: daemon closed the connection");
+  }
+  return ParseEvent(*line);
+}
+
+Event Client::Submit(const std::string& figure, bool quick, int priority,
+                     const EventCallback& on_event) {
+  Request request;
+  request.op = Request::Op::kSubmit;
+  request.figure = figure;
+  request.quick = quick;
+  request.priority = priority;
+  if (!session_->WriteLine(SerializeRequest(request))) {
+    throw ConfigError("client: daemon closed the connection");
+  }
+  for (;;) {
+    Event event = NextEvent();
+    switch (event.type) {
+      case EventType::kDone:
+      case EventType::kRejected:
+      case EventType::kError:
+        return event;
+      default:
+        if (on_event) on_event(event);
+        break;
+    }
+  }
+}
+
+ServeStats Client::Stats() {
+  Request request;
+  request.op = Request::Op::kStats;
+  if (!session_->WriteLine(SerializeRequest(request))) {
+    throw ConfigError("client: daemon closed the connection");
+  }
+  for (;;) {
+    const Event event = NextEvent();
+    if (event.type == EventType::kStats) return ParseStats(event.body);
+    if (event.type == EventType::kError) {
+      throw ConfigError("client: stats failed: " +
+                        event.body.StringOr("message", "unknown error"));
+    }
+    // Skip stray streamed events of an earlier submit on this session.
+  }
+}
+
+std::uint64_t Client::Drain() {
+  Request request;
+  request.op = Request::Op::kDrain;
+  if (!session_->WriteLine(SerializeRequest(request))) {
+    throw ConfigError("client: daemon closed the connection");
+  }
+  for (;;) {
+    const Event event = NextEvent();
+    if (event.type == EventType::kDrained) {
+      return static_cast<std::uint64_t>(
+          event.body.NumberOr("completed", 0.0));
+    }
+    if (event.type == EventType::kError) {
+      throw ConfigError("client: drain failed: " +
+                        event.body.StringOr("message", "unknown error"));
+    }
+  }
+}
+
+std::string LoadGenReport::Render() const {
+  std::ostringstream os;
+  os << "load generator: " << requests << " requests, " << completed
+     << " completed, " << rejected << " rejected, " << failed << " failed\n"
+     << "  wall " << FormatDouble(wall_seconds, 3) << " s, throughput "
+     << FormatDouble(throughput_rps, 2) << " req/s\n"
+     << "  latency p50 " << FormatDouble(p50_seconds, 3) << " s, p90 "
+     << FormatDouble(p90_seconds, 3) << " s, p99 "
+     << FormatDouble(p99_seconds, 3) << " s\n";
+  return os.str();
+}
+
+LoadGenReport RunLoadGenerator(const LoadGenOptions& options) {
+  Require(!options.figures.empty(), "load generator: no figures to pick");
+  Require(options.concurrency >= 1, "load generator: concurrency < 1");
+
+  // The whole request schedule is derived from the seed up front, so it
+  // is identical across runs regardless of worker interleaving.
+  struct Planned {
+    std::string figure;
+    int priority;
+  };
+  std::vector<Planned> plan;
+  plan.reserve(options.requests);
+  XorShift128 rng(options.seed);
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    const std::string& figure =
+        options.figures[rng.NextBelow(options.figures.size())];
+    plan.push_back({figure, static_cast<int>(rng.NextBelow(3))});
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> failed{0};
+  std::mutex latencies_mutex;
+  std::vector<double> latencies;
+
+  // Probe once on the calling thread so an unreachable daemon surfaces
+  // as a ConfigError instead of a worker-thread crash.
+  { Client probe = Client::Connect(options.socket_path); }
+
+  const auto worker = [&] {
+    try {
+      Client client = Client::Connect(options.socket_path);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= plan.size()) return;
+        const auto start = std::chrono::steady_clock::now();
+        const Event event =
+            client.Submit(plan[i].figure, options.quick, plan[i].priority);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        switch (event.type) {
+          case EventType::kDone:
+            completed.fetch_add(1, std::memory_order_relaxed);
+            {
+              std::lock_guard<std::mutex> lock(latencies_mutex);
+              latencies.push_back(seconds);
+            }
+            break;
+          case EventType::kRejected:
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            failed.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    } catch (const std::exception&) {
+      // The daemon went away mid-run (e.g. a drain); remaining requests
+      // on this worker count as failed.
+      failed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  const unsigned spawned =
+      static_cast<unsigned>(std::min<std::size_t>(options.concurrency,
+                                                  plan.size() ? plan.size()
+                                                              : 1));
+  workers.reserve(spawned);
+  for (unsigned t = 0; t < spawned; ++t) workers.emplace_back(worker);
+  for (std::thread& thread : workers) thread.join();
+
+  LoadGenReport report;
+  report.requests = plan.size();
+  report.completed = completed.load();
+  report.rejected = rejected.load();
+  report.failed = failed.load();
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (report.wall_seconds > 0.0) {
+    report.throughput_rps =
+        static_cast<double>(report.completed) / report.wall_seconds;
+  }
+  if (!latencies.empty()) {
+    report.p50_seconds = Percentile(latencies, 50.0);
+    report.p90_seconds = Percentile(latencies, 90.0);
+    report.p99_seconds = Percentile(latencies, 99.0);
+  }
+  return report;
+}
+
+}  // namespace amdmb::serve

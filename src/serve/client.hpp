@@ -1,0 +1,85 @@
+// Client side of the amdmb_serve protocol: connect, submit a figure and
+// stream its events, fetch stats, request a drain — plus a deterministic
+// closed-loop load generator for throughput / tail-latency measurement
+// (the amdmb_client `bench` verb).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace amdmb::serve {
+
+class Client {
+ public:
+  /// Connects to a daemon. Throws ConfigError when nothing listens.
+  static Client Connect(const std::string& socket_path);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Called for every streamed event of a submit (accepted, progress,
+  /// point, profile) before the terminal event is returned.
+  using EventCallback = std::function<void(const Event&)>;
+
+  /// Submits one figure and blocks until its terminal event — done,
+  /// rejected, or error — which is returned. Throws ConfigError if the
+  /// daemon hangs up mid-stream.
+  Event Submit(const std::string& figure, bool quick, int priority,
+               const EventCallback& on_event = {});
+
+  /// One stats round-trip.
+  ServeStats Stats();
+
+  /// Asks the daemon to drain; blocks until every admitted sweep is
+  /// done. Returns the daemon's completed-request count.
+  std::uint64_t Drain();
+
+ private:
+  explicit Client(int fd) : session_(std::make_unique<Session>(fd)) {}
+
+  Event NextEvent();
+
+  std::unique_ptr<Session> session_;
+};
+
+/// Deterministic load-generator configuration: the request sequence
+/// (figure choice and priority per request) is a pure function of
+/// `seed`, so two runs against equally-configured daemons issue the
+/// identical stream.
+struct LoadGenOptions {
+  std::string socket_path;
+  std::size_t requests = 8;
+  unsigned concurrency = 1;
+  std::uint64_t seed = 1;
+  bool quick = true;
+  /// Figures the generator draws from (round-robin-free, seeded picks).
+  std::vector<std::string> figures = {"fig_7", "fig_11", "fig_13"};
+};
+
+struct LoadGenReport {
+  std::size_t requests = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t failed = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;  ///< Completed requests per second.
+  double p50_seconds = 0.0;     ///< Completed-request latency tails.
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+
+  /// Human-readable summary block.
+  std::string Render() const;
+};
+
+/// Runs the closed-loop generator: `concurrency` workers, each with its
+/// own connection, pull from the seeded request list and submit until it
+/// is exhausted. Throws ConfigError when the daemon is unreachable.
+LoadGenReport RunLoadGenerator(const LoadGenOptions& options);
+
+}  // namespace amdmb::serve

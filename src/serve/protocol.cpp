@@ -1,0 +1,245 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace amdmb::serve {
+
+namespace {
+
+std::string Quoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  out += report::JsonEscape(text);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Request ParseRequest(std::string_view line) {
+  const report::JsonValue doc = report::JsonValue::Parse(line);
+  if (doc.type() != report::JsonValue::Type::kObject) {
+    throw ConfigError("request: expected a JSON object");
+  }
+  const report::JsonValue* op = doc.Find("op");
+  if (op == nullptr) throw ConfigError("request: missing \"op\"");
+  Request request;
+  const std::string& name = op->AsString();
+  if (name == "submit") {
+    request.op = Request::Op::kSubmit;
+    const report::JsonValue* figure = doc.Find("figure");
+    if (figure == nullptr) {
+      throw ConfigError("request: submit needs a \"figure\" slug");
+    }
+    request.figure = figure->AsString();
+    if (request.figure.empty()) {
+      throw ConfigError("request: submit \"figure\" is empty");
+    }
+    request.quick = doc.BoolOr("quick", false);
+    const double priority = doc.NumberOr("priority", 0.0);
+    if (priority != static_cast<int>(priority)) {
+      throw ConfigError("request: \"priority\" must be an integer");
+    }
+    request.priority = static_cast<int>(priority);
+  } else if (name == "stats") {
+    request.op = Request::Op::kStats;
+  } else if (name == "drain") {
+    request.op = Request::Op::kDrain;
+  } else {
+    throw ConfigError("request: unknown op \"" + name + "\"");
+  }
+  return request;
+}
+
+std::string SerializeRequest(const Request& request) {
+  std::ostringstream os;
+  switch (request.op) {
+    case Request::Op::kSubmit:
+      os << "{\"op\":\"submit\",\"figure\":" << Quoted(request.figure)
+         << ",\"quick\":" << (request.quick ? "true" : "false")
+         << ",\"priority\":" << request.priority << "}";
+      break;
+    case Request::Op::kStats:
+      os << "{\"op\":\"stats\"}";
+      break;
+    case Request::Op::kDrain:
+      os << "{\"op\":\"drain\"}";
+      break;
+  }
+  return os.str();
+}
+
+std::string_view ToString(EventType type) {
+  switch (type) {
+    case EventType::kAccepted: return "accepted";
+    case EventType::kRejected: return "rejected";
+    case EventType::kProgress: return "progress";
+    case EventType::kPoint: return "point";
+    case EventType::kProfile: return "profile";
+    case EventType::kDone: return "done";
+    case EventType::kError: return "error";
+    case EventType::kStats: return "stats";
+    case EventType::kDrained: return "drained";
+  }
+  throw SimError("ToString(EventType): unknown value");
+}
+
+Event ParseEvent(std::string_view line) {
+  Event event;
+  event.body = report::JsonValue::Parse(line);
+  const report::JsonValue* tag = event.body.Find("event");
+  if (tag == nullptr) throw ConfigError("event: missing \"event\" tag");
+  const std::string& name = tag->AsString();
+  for (const EventType type :
+       {EventType::kAccepted, EventType::kRejected, EventType::kProgress,
+        EventType::kPoint, EventType::kProfile, EventType::kDone,
+        EventType::kError, EventType::kStats, EventType::kDrained}) {
+    if (name == ToString(type)) {
+      event.type = type;
+      return event;
+    }
+  }
+  throw ConfigError("event: unknown tag \"" + name + "\"");
+}
+
+std::string SerializeAccepted(std::uint64_t id, std::string_view figure,
+                              std::size_t queue_depth) {
+  std::ostringstream os;
+  os << "{\"event\":\"accepted\",\"request\":" << id
+     << ",\"figure\":" << Quoted(figure)
+     << ",\"queue_depth\":" << queue_depth << "}";
+  return os.str();
+}
+
+std::string SerializeRejected(std::string_view reason,
+                              std::string_view figure) {
+  std::ostringstream os;
+  os << "{\"event\":\"rejected\",\"reason\":" << Quoted(reason)
+     << ",\"figure\":" << Quoted(figure) << "}";
+  return os.str();
+}
+
+std::string SerializeProgress(std::uint64_t id, std::size_t curve_index,
+                              std::size_t curve_count,
+                              std::string_view curve) {
+  std::ostringstream os;
+  os << "{\"event\":\"progress\",\"request\":" << id
+     << ",\"curve\":" << Quoted(curve) << ",\"index\":" << curve_index
+     << ",\"count\":" << curve_count << "}";
+  return os.str();
+}
+
+std::string SerializePoint(std::uint64_t id, std::string_view curve,
+                           double x, double y) {
+  std::ostringstream os;
+  os << "{\"event\":\"point\",\"request\":" << id
+     << ",\"curve\":" << Quoted(curve)
+     << ",\"x\":" << report::JsonNumber(x)
+     << ",\"y\":" << report::JsonNumber(y) << "}";
+  return os.str();
+}
+
+std::string SerializeProfile(std::uint64_t id, std::string_view curve,
+                             std::string_view point,
+                             std::string_view bottleneck) {
+  std::ostringstream os;
+  os << "{\"event\":\"profile\",\"request\":" << id
+     << ",\"curve\":" << Quoted(curve) << ",\"point\":" << Quoted(point)
+     << ",\"bottleneck\":" << Quoted(bottleneck) << "}";
+  return os.str();
+}
+
+std::string SerializeDone(std::uint64_t id, std::string_view figure,
+                          double wall_seconds, std::uint64_t cache_hits,
+                          std::uint64_t cache_misses,
+                          std::string_view figure_json) {
+  std::ostringstream os;
+  os << "{\"event\":\"done\",\"request\":" << id
+     << ",\"figure\":" << Quoted(figure)
+     << ",\"wall_seconds\":" << report::JsonNumber(wall_seconds)
+     << ",\"cache_hits\":" << cache_hits
+     << ",\"cache_misses\":" << cache_misses
+     << ",\"figure_json\":" << Quoted(figure_json) << "}";
+  return os.str();
+}
+
+std::string SerializeError(std::uint64_t id, std::string_view message) {
+  std::ostringstream os;
+  os << "{\"event\":\"error\",\"request\":" << id
+     << ",\"message\":" << Quoted(message) << "}";
+  return os.str();
+}
+
+std::string SerializeDrained(std::uint64_t completed) {
+  std::ostringstream os;
+  os << "{\"event\":\"drained\",\"completed\":" << completed << "}";
+  return os.str();
+}
+
+std::string SerializeStats(const ServeStats& stats) {
+  std::ostringstream os;
+  os << "{\"event\":\"stats\",\"version\":" << Quoted(stats.version)
+     << ",\"queue_depth\":" << stats.queue_depth
+     << ",\"in_flight\":" << stats.in_flight
+     << ",\"max_queue\":" << stats.max_queue
+     << ",\"max_inflight\":" << stats.max_inflight
+     << ",\"completed\":" << stats.completed
+     << ",\"failed\":" << stats.failed
+     << ",\"rejected\":" << stats.rejected << ",\"cache\":{\"hits\":"
+     << stats.cache_hits << ",\"misses\":" << stats.cache_misses
+     << ",\"hit_rate\":" << report::JsonNumber(stats.cache_hit_rate)
+     << ",\"size\":" << stats.cache_size << "},\"latencies\":[";
+  for (std::size_t i = 0; i < stats.latencies.size(); ++i) {
+    const FigureLatency& l = stats.latencies[i];
+    if (i > 0) os << ",";
+    os << "{\"figure\":" << Quoted(l.figure) << ",\"count\":" << l.count
+       << ",\"p50_seconds\":" << report::JsonNumber(l.p50_seconds)
+       << ",\"p90_seconds\":" << report::JsonNumber(l.p90_seconds)
+       << ",\"p99_seconds\":" << report::JsonNumber(l.p99_seconds) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+
+std::uint64_t CountOr(const report::JsonValue& body, std::string_view key) {
+  return static_cast<std::uint64_t>(body.NumberOr(key, 0.0));
+}
+
+}  // namespace
+
+ServeStats ParseStats(const report::JsonValue& body) {
+  ServeStats stats;
+  stats.version = body.StringOr("version", "");
+  stats.queue_depth = static_cast<std::size_t>(CountOr(body, "queue_depth"));
+  stats.in_flight = static_cast<unsigned>(CountOr(body, "in_flight"));
+  stats.max_queue = static_cast<std::size_t>(CountOr(body, "max_queue"));
+  stats.max_inflight = static_cast<unsigned>(CountOr(body, "max_inflight"));
+  stats.completed = CountOr(body, "completed");
+  stats.failed = CountOr(body, "failed");
+  stats.rejected = CountOr(body, "rejected");
+  if (const report::JsonValue* cache = body.Find("cache")) {
+    stats.cache_hits = CountOr(*cache, "hits");
+    stats.cache_misses = CountOr(*cache, "misses");
+    stats.cache_hit_rate = cache->NumberOr("hit_rate", 0.0);
+    stats.cache_size = static_cast<std::size_t>(CountOr(*cache, "size"));
+  }
+  if (const report::JsonValue* latencies = body.Find("latencies")) {
+    for (const report::JsonValue& entry : latencies->AsArray()) {
+      FigureLatency l;
+      l.figure = entry.StringOr("figure", "");
+      l.count = static_cast<std::size_t>(CountOr(entry, "count"));
+      l.p50_seconds = entry.NumberOr("p50_seconds", 0.0);
+      l.p90_seconds = entry.NumberOr("p90_seconds", 0.0);
+      l.p99_seconds = entry.NumberOr("p99_seconds", 0.0);
+      stats.latencies.push_back(std::move(l));
+    }
+  }
+  return stats;
+}
+
+}  // namespace amdmb::serve

@@ -1,0 +1,137 @@
+// Wire protocol of the amdmb_serve daemon: newline-delimited JSON over
+// a local Unix-domain socket.
+//
+// Requests are one-line JSON objects with an "op" key:
+//   {"op":"submit","figure":"fig_7","quick":true,"priority":0}
+//   {"op":"stats"}
+//   {"op":"drain"}
+//
+// Responses stream back as one-line JSON events tagged "event":
+//   accepted  — the submit was admitted; carries the request id.
+//   rejected  — admission refused ("overloaded" / "draining") or the
+//               figure slug is unknown ("unknown_figure"); terminal.
+//   progress  — one figure curve finished (index / count / name).
+//   point     — one measured sweep point (curve, x, y).
+//   profile   — one profiled sweep point rode the curve.
+//   done      — the request completed; carries the full schema-v2
+//               BENCH figure document as the "figure_json" string
+//               (byte-identical to the standalone bench binary's file).
+//   error     — the sweep threw; carries the message; terminal.
+//   stats     — response to a stats request (queue depth, cache hit
+//               rate, per-figure latency percentiles).
+//   drained   — response to a drain request once every admitted sweep
+//               has finished.
+//
+// Serialization reuses the report layer's JSON primitives (JsonEscape /
+// JsonNumber / JsonValue), so the daemon has no second JSON dialect.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/json.hpp"
+
+namespace amdmb::serve {
+
+/// Parsed client request.
+struct Request {
+  enum class Op { kSubmit, kStats, kDrain };
+
+  Op op = Op::kStats;
+  std::string figure;  ///< Submit only: figure slug (any spelling).
+  bool quick = false;  ///< Submit only: smoke-scale sweep.
+  int priority = 0;    ///< Submit only: higher pops first.
+};
+
+/// Parses one request line. Throws ConfigError naming what is malformed
+/// (bad JSON, missing/unknown "op", non-string figure, ...).
+Request ParseRequest(std::string_view line);
+
+/// Serializes a request (the client side of ParseRequest).
+std::string SerializeRequest(const Request& request);
+
+/// Event type tags, in the order documented above.
+enum class EventType {
+  kAccepted,
+  kRejected,
+  kProgress,
+  kPoint,
+  kProfile,
+  kDone,
+  kError,
+  kStats,
+  kDrained,
+};
+
+std::string_view ToString(EventType type);
+
+/// One parsed response line: the type tag plus the full JSON payload
+/// (typed field access goes through `body`).
+struct Event {
+  EventType type = EventType::kError;
+  report::JsonValue body;
+};
+
+/// Parses one event line. Throws ConfigError on bad JSON or an unknown
+/// "event" tag.
+Event ParseEvent(std::string_view line);
+
+// --- Event serializers (daemon side). Each returns one line, no '\n'.
+
+std::string SerializeAccepted(std::uint64_t id, std::string_view figure,
+                              std::size_t queue_depth);
+std::string SerializeRejected(std::string_view reason,
+                              std::string_view figure);
+std::string SerializeProgress(std::uint64_t id, std::size_t curve_index,
+                              std::size_t curve_count,
+                              std::string_view curve);
+std::string SerializePoint(std::uint64_t id, std::string_view curve,
+                           double x, double y);
+std::string SerializeProfile(std::uint64_t id, std::string_view curve,
+                             std::string_view point,
+                             std::string_view bottleneck);
+std::string SerializeDone(std::uint64_t id, std::string_view figure,
+                          double wall_seconds, std::uint64_t cache_hits,
+                          std::uint64_t cache_misses,
+                          std::string_view figure_json);
+std::string SerializeError(std::uint64_t id, std::string_view message);
+std::string SerializeDrained(std::uint64_t completed);
+
+/// Latency summary of one figure's completed requests.
+struct FigureLatency {
+  std::string figure;
+  std::size_t count = 0;
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+
+  bool operator==(const FigureLatency&) const = default;
+};
+
+/// The stats-event payload.
+struct ServeStats {
+  std::string version;          ///< SuiteVersion() of the daemon build.
+  std::size_t queue_depth = 0;  ///< Requests admitted but not started.
+  unsigned in_flight = 0;       ///< Sweeps currently executing.
+  std::size_t max_queue = 0;
+  unsigned max_inflight = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  std::size_t cache_size = 0;
+  std::vector<FigureLatency> latencies;  ///< Sorted by figure slug.
+};
+
+std::string SerializeStats(const ServeStats& stats);
+
+/// Parses the payload of a kStats event back into the struct (client
+/// side; also the round-trip tests).
+ServeStats ParseStats(const report::JsonValue& body);
+
+}  // namespace amdmb::serve

@@ -1,0 +1,58 @@
+#include "serve/result_store.hpp"
+
+#include "common/stats.hpp"
+
+namespace amdmb::serve {
+
+void ResultStore::RecordCompleted(const std::string& figure,
+                                  double wall_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_[figure].push_back(wall_seconds);
+  ++completed_;
+}
+
+void ResultStore::RecordFailed(const std::string& figure) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.try_emplace(figure);  // The figure shows up with count 0.
+  ++failed_;
+}
+
+void ResultStore::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+std::uint64_t ResultStore::Completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::uint64_t ResultStore::Failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+std::uint64_t ResultStore::Rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+std::vector<FigureLatency> ResultStore::Latencies() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FigureLatency> out;
+  out.reserve(samples_.size());
+  for (const auto& [figure, samples] : samples_) {
+    FigureLatency l;
+    l.figure = figure;
+    l.count = samples.size();
+    if (!samples.empty()) {
+      l.p50_seconds = Percentile(samples, 50.0);
+      l.p90_seconds = Percentile(samples, 90.0);
+      l.p99_seconds = Percentile(samples, 99.0);
+    }
+    out.push_back(std::move(l));
+  }
+  return out;
+}
+
+}  // namespace amdmb::serve

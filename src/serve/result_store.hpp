@@ -1,0 +1,40 @@
+// Completion bookkeeping for the daemon: per-figure latency samples and
+// the completed / failed / rejected counters behind the stats event.
+// Thread-safe — worker threads record completions while session threads
+// read snapshots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace amdmb::serve {
+
+class ResultStore {
+ public:
+  /// Records one finished sweep (wall-clock seconds from accept to done).
+  void RecordCompleted(const std::string& figure, double wall_seconds);
+  void RecordFailed(const std::string& figure);
+  void RecordRejected();
+
+  std::uint64_t Completed() const;
+  std::uint64_t Failed() const;
+  std::uint64_t Rejected() const;
+
+  /// Per-figure latency percentiles (p50/p90/p99 via common/stats),
+  /// sorted by figure slug for deterministic stats output.
+  std::vector<FigureLatency> Latencies() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<double>> samples_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace amdmb::serve

@@ -1,0 +1,66 @@
+#include "serve/session.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace amdmb::serve {
+
+Session::~Session() {
+  Close();
+  ::close(fd_);
+}
+
+std::optional<std::string> Session::ReadLine() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return std::nullopt;  // EOF or error: the client is gone.
+  }
+}
+
+bool Session::WriteLine(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!alive_) return false;
+  std::string framed(line);
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      alive_ = false;  // Peer gone; the sweep still runs to completion.
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Session::Alive() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alive_;
+}
+
+void Session::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!alive_) return;
+  alive_ = false;
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace amdmb::serve

@@ -1,0 +1,48 @@
+// One connected client: buffered line reads and mutex-serialized line
+// writes over a Unix-domain stream socket.
+//
+// Writes come from two kinds of threads — the session's own read loop
+// (accepted / rejected / stats events) and scheduler workers streaming
+// a sweep's events — so WriteLine locks; each event stays one atomic
+// line. A client that disconnects mid-sweep must not kill the daemon:
+// sends use MSG_NOSIGNAL (no SIGPIPE) and a failed write just marks the
+// session dead, the sweep runs to completion for the cache's benefit.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace amdmb::serve {
+
+class Session {
+ public:
+  /// Takes ownership of the connected socket descriptor.
+  explicit Session(int fd) : fd_(fd) {}
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Next '\n'-terminated line (terminator stripped); nullopt on EOF or
+  /// error. Blocks.
+  std::optional<std::string> ReadLine();
+
+  /// Sends `line` plus '\n' as one write. Returns false (and marks the
+  /// session dead) when the peer is gone; later calls are no-ops.
+  bool WriteLine(std::string_view line);
+
+  bool Alive() const;
+
+  /// Shuts the socket down (unblocks a ReadLine stuck in recv).
+  void Close();
+
+ private:
+  int fd_;
+  mutable std::mutex mutex_;  ///< Guards writes, alive_, and fd_ close.
+  bool alive_ = true;
+  std::string buffer_;  ///< Bytes read past the last returned line.
+};
+
+}  // namespace amdmb::serve

@@ -49,7 +49,7 @@ AluFetchResult RunAluFetch(const Runner& runner, ShaderMode mode,
                                                   {spec.name, attempt});
                          return point;
                        },
-                       config.retry, &result.report);
+                       config.retry, &result.report, config.cancel);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     result.report.points[i].label = "alufetch_r" + FormatDouble(ratios[i], 2);
     if (slots[i]) result.points.push_back(std::move(*slots[i]));

@@ -62,7 +62,7 @@ BlockSizeResult RunBlockSizeExplorer(const Runner& runner,
                              kernel, launch, {label_of(shapes[i]), attempt});
                          return point;
                        },
-                       config.retry, &result.report);
+                       config.retry, &result.report, config.cancel);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     result.report.points[i].label = label_of(shapes[i]);
     if (slots[i]) result.points.push_back(std::move(*slots[i]));

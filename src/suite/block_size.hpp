@@ -31,6 +31,11 @@ struct BlockSizeConfig {
   const exec::SweepExecutor* executor = nullptr;
   /// Per-point retry/skip behaviour under faults (AMDMB_RETRY default).
   exec::RetryPolicy retry = exec::RetryPolicy::FromEnv();
+  /// Optional cooperative cancellation: points not yet started when the
+  /// token fires are skipped (the bench binaries wire their SIGINT/
+  /// SIGTERM flag here so an interrupted run still flushes a partial
+  /// figure).
+  const exec::CancelToken* cancel = nullptr;
 };
 
 struct BlockSizePoint {

@@ -50,7 +50,7 @@ DomainSizeResult RunDomainSize(const Runner& runner, ShaderMode mode,
                     {"domain_" + std::to_string(sizes[i]), attempt});
                 return point;
               },
-              config.retry, &result.report);
+              config.retry, &result.report, config.cancel);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     result.report.points[i].label = "domain_" + std::to_string(sizes[i]);
     if (slots[i]) result.points.push_back(std::move(*slots[i]));

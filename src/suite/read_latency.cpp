@@ -44,7 +44,7 @@ ReadLatencyResult RunReadLatency(const Runner& runner, ShaderMode mode,
                                                   launch, {spec.name, attempt});
                          return point;
                        },
-                       config.retry, &result.report);
+                       config.retry, &result.report, config.cancel);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     result.report.points[i].label =
         "readlat_in" +

@@ -47,7 +47,7 @@ RegisterUsageResult RunRegisterUsage(const Runner& runner, ShaderMode mode,
                          point.gpr_count = point.m.stats.gpr_count;
                          return point;
                        },
-                       config.retry, &result.report);
+                       config.retry, &result.report, config.cancel);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     result.report.points[i].label =
         "regusage_s" +

@@ -46,7 +46,7 @@ WriteLatencyResult RunWriteLatency(const Runner& runner, ShaderMode mode,
                                                   launch, {spec.name, attempt});
                          return point;
                        },
-                       config.retry, &result.report);
+                       config.retry, &result.report, config.cancel);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     result.report.points[i].label =
         "writelat_out" +

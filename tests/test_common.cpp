@@ -172,5 +172,23 @@ TEST(SeriesSetTest, ColumnRenderingMergesXGrids) {
   EXPECT_NE(csv.find("x,a,b"), std::string::npos);
 }
 
+
+TEST(PercentileTest, HandlesEmptyAndSingleSamples) {
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_EQ(Percentile({7.5}, 0.0), 7.5);
+  EXPECT_EQ(Percentile({7.5}, 50.0), 7.5);
+  EXPECT_EQ(Percentile({7.5}, 100.0), 7.5);
+}
+
+TEST(PercentileTest, InterpolatesLinearlyOverSortedSamples) {
+  // Input order must not matter: Percentile sorts its own copy.
+  const std::vector<double> samples = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100.0), 40.0);
+  // Rank 0.9 * 3 = 2.7 -> between 30 and 40, 70% of the way.
+  EXPECT_DOUBLE_EQ(Percentile(samples, 90.0), 37.0);
+}
+
 }  // namespace
 }  // namespace amdmb

@@ -153,5 +153,52 @@ TEST(EnvTest, GetIsStableAcrossCalls) {
   EXPECT_EQ(&a, &b);
 }
 
+
+TEST(EnvTest, ServeKnobsParse) {
+  const env::Options o = FakeEnv({{"AMDMB_SERVE_SOCKET", "/run/amdmb.sock"},
+                                  {"AMDMB_SERVE_QUEUE", "32"},
+                                  {"AMDMB_SERVE_INFLIGHT", "4"}})
+                             .Parse();
+  EXPECT_EQ(o.serve_socket, "/run/amdmb.sock");
+  EXPECT_EQ(o.serve_queue, 32u);
+  EXPECT_EQ(o.serve_inflight, 4u);
+}
+
+TEST(EnvTest, ServeKnobsDefaultWhenUnset) {
+  const env::Options o = FakeEnv({}).Parse();
+  EXPECT_FALSE(o.serve_socket.has_value());
+  EXPECT_EQ(o.serve_queue, 16u);
+  EXPECT_EQ(o.serve_inflight, 1u);
+  // A queue of zero is legal: admission then only covers in-flight.
+  EXPECT_EQ(env::ParseServeQueue("0"), 0u);
+  EXPECT_EQ(env::ParseServeQueue("4096"), 4096u);
+  EXPECT_EQ(env::ParseServeInflight("1"), 1u);
+  EXPECT_EQ(env::ParseServeInflight("64"), 64u);
+}
+
+TEST(EnvTest, ServeQueueRejectsMalformedValuesNamingTheVariable) {
+  for (const char* bad : {"abc", "-1", "4097", "12x", "1.5"}) {
+    try {
+      FakeEnv({{"AMDMB_SERVE_QUEUE", bad}}).Parse();
+      FAIL() << "expected ConfigError for '" << bad << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("AMDMB_SERVE_QUEUE"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(EnvTest, ServeInflightRejectsMalformedValuesNamingTheVariable) {
+  for (const char* bad : {"abc", "0", "65", "-2", "2x"}) {
+    try {
+      FakeEnv({{"AMDMB_SERVE_INFLIGHT", bad}}).Parse();
+      FAIL() << "expected ConfigError for '" << bad << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("AMDMB_SERVE_INFLIGHT"),
+                std::string::npos);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace amdmb

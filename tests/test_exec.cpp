@@ -23,6 +23,7 @@
 namespace amdmb {
 namespace {
 
+using exec::CancelToken;
 using exec::FailurePolicy;
 using exec::KernelCache;
 using exec::PointStatus;
@@ -506,6 +507,48 @@ TEST(ExecFaultResilienceTest, HangInjectionResolvesWithoutWedgingThePool) {
   // The pool is still usable afterwards.
   const auto out = wide.Map(8, [](std::size_t i) { return i; });
   EXPECT_EQ(out.size(), 8u);
+}
+
+
+TEST(MapWithPolicyTest, CancelTokenSkipsPointsNotYetStarted) {
+  // Serial executor: points run strictly in index order, so cancelling
+  // during point 2 deterministically skips every later point.
+  const SweepExecutor executor(1);
+  CancelToken cancel;
+  RunReport report;
+  const auto slots = executor.MapWithPolicy(
+      6,
+      [&](std::size_t i, unsigned) -> int {
+        if (i == 2) cancel.Cancel();
+        return static_cast<int>(i);
+      },
+      FastRetry(3), &report, &cancel);
+  ASSERT_EQ(slots.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(slots[i].has_value());
+  for (std::size_t i = 3; i < 6; ++i) EXPECT_FALSE(slots[i].has_value());
+  EXPECT_EQ(report.CountOf(PointStatus::kOk), 3u);
+  EXPECT_EQ(report.CountOf(PointStatus::kSkipped), 3u);
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(report.points[i].status, PointStatus::kSkipped);
+    EXPECT_EQ(report.points[i].attempts, 0u);  // Never started.
+    EXPECT_EQ(report.points[i].error, "cancelled");
+  }
+}
+
+TEST(MapWithPolicyTest, CancelledSweepStillReturnsWellFormedResults) {
+  // A token that fired before the sweep began skips everything —
+  // partial-result plumbing (sinks, reports) must still see one outcome
+  // per point.
+  const SweepExecutor executor(1);
+  CancelToken cancel;
+  cancel.Cancel();
+  RunReport report;
+  const auto slots = executor.MapWithPolicy(
+      4, [](std::size_t i, unsigned) { return static_cast<int>(i); },
+      FastRetry(1), &report, &cancel);
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(report.points.size(), 4u);
+  EXPECT_EQ(report.CountOf(PointStatus::kSkipped), 4u);
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+// Failure-path tests for report::LoadFigureJson / LoadFigureDirectory:
+// truncated documents, non-JSON bytes, unsupported schema versions, and
+// mixed-version directories must produce typed ConfigErrors (or load
+// cleanly where both versions are supported) — never a crash or a
+// silently wrong record.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/status.hpp"
+#include "report/load.hpp"
+
+namespace amdmb::report {
+namespace {
+
+const char kValidV2Doc[] = R"({
+  "figure": "Fig. 7 — ALU:Fetch Ratio for 16 Inputs",
+  "title": "ALU:Fetch Ratio",
+  "schema_version": 2,
+  "meta": {"suite_version": "test", "threads": 1, "quick": true},
+  "curves": [
+    {"name": "4870 Pixel Float",
+     "points": [{"x": 0.25, "sim_seconds": 0.3}],
+     "sim_seconds_median": 0.3, "sim_seconds_min": 0.3,
+     "sim_seconds_max": 0.3}
+  ]
+})";
+
+std::string ErrorOf(std::string_view text) {
+  try {
+    LoadFigureJson(text, {});
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(LoadErrors, TruncatedDocumentIsATypedError) {
+  const std::string valid = kValidV2Doc;
+  // Cutting a valid document anywhere (but before the closing brace)
+  // must throw ConfigError, not crash or return a partial record.
+  for (const std::size_t cut : {1ul, 20ul, valid.size() / 2,
+                                valid.size() - 2}) {
+    EXPECT_THROW(LoadFigureJson(valid.substr(0, cut), {}), ConfigError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(LoadErrors, NonJsonBytesAreATypedError) {
+  EXPECT_THROW(LoadFigureJson("not json at all", {}), ConfigError);
+  EXPECT_THROW(LoadFigureJson("\x00\x01\x02\xff", {}), ConfigError);
+  EXPECT_THROW(LoadFigureJson("", {}), ConfigError);
+  // Valid JSON of the wrong shape: no "figure" key.
+  EXPECT_NE(ErrorOf(R"({"title": "x"})").find("figure"), std::string::npos);
+  EXPECT_THROW(LoadFigureJson("[1, 2, 3]", {}), ConfigError);
+}
+
+TEST(LoadErrors, UnsupportedSchemaVersionIsATypedError) {
+  const std::string err =
+      ErrorOf(R"({"figure": "Fig. 7 — X", "schema_version": 3})");
+  EXPECT_NE(err.find("schema_version"), std::string::npos) << err;
+  EXPECT_NE(err.find("3"), std::string::npos) << err;
+  EXPECT_THROW(
+      LoadFigureJson(R"({"figure": "F", "schema_version": 0})", {}),
+      ConfigError);
+  EXPECT_THROW(
+      LoadFigureJson(R"({"figure": "F", "schema_version": -1})", {}),
+      ConfigError);
+}
+
+TEST(LoadErrors, NonNumericSchemaVersionIsATypedError) {
+  const std::string err =
+      ErrorOf(R"({"figure": "Fig. 7 — X", "schema_version": "two"})");
+  EXPECT_NE(err.find("schema_version"), std::string::npos) << err;
+  EXPECT_THROW(
+      LoadFigureJson(R"({"figure": "F", "schema_version": null})", {}),
+      ConfigError);
+}
+
+TEST(LoadErrors, SupportedVersionsLoad) {
+  // Absent = 1 (pre-versioning writers); explicit 1 and 2 both load.
+  EXPECT_EQ(LoadFigureJson(R"({"figure": "Fig. 1 — A"})", {}).schema_version,
+            1);
+  EXPECT_EQ(LoadFigureJson(R"({"figure": "F", "schema_version": 1})", {})
+                .schema_version,
+            1);
+  EXPECT_EQ(LoadFigureJson(kValidV2Doc, {}).schema_version, 2);
+}
+
+class LoadDirectoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("amdmb_load_errors_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteDoc(const std::string& name, const std::string& text) {
+    std::ofstream out(dir_ / name);
+    out << text;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LoadDirectoryTest, MixedV1AndV2DocumentsLoadTogether) {
+  WriteDoc("BENCH_fig_1.json", R"({"figure": "Fig. 1 — Legacy"})");
+  WriteDoc("BENCH_fig_7.json", kValidV2Doc);
+  const auto figures = LoadFigureDirectory(dir_, "");
+  ASSERT_EQ(figures.size(), 2u);
+  EXPECT_EQ(figures[0].schema_version, 1);
+  EXPECT_EQ(figures[1].schema_version, 2);
+  EXPECT_EQ(figures[1].curves.size(), 1u);
+}
+
+TEST_F(LoadDirectoryTest, OneBadDocumentNamesItsFile) {
+  WriteDoc("BENCH_fig_7.json", kValidV2Doc);
+  WriteDoc("BENCH_fig_9.json", "{truncated");
+  try {
+    LoadFigureDirectory(dir_, "");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("BENCH_fig_9.json"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(LoadDirectoryTest, FutureSchemaVersionNamesItsFile) {
+  WriteDoc("BENCH_fig_7.json",
+           R"({"figure": "Fig. 7 — X", "schema_version": 99})");
+  try {
+    LoadFigureDirectory(dir_, "");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("BENCH_fig_7.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("schema_version"), std::string::npos) << what;
+  }
+}
+
+TEST_F(LoadDirectoryTest, NonBenchFilesAreIgnored) {
+  WriteDoc("BENCH_fig_7.json", kValidV2Doc);
+  WriteDoc("notes.json", "not json");          // No BENCH_ prefix.
+  WriteDoc("BENCH_fig_7.json.bak", "broken");  // Wrong extension.
+  const auto figures = LoadFigureDirectory(dir_, "");
+  ASSERT_EQ(figures.size(), 1u);
+}
+
+TEST_F(LoadDirectoryTest, MissingDirectoryIsATypedError) {
+  EXPECT_THROW(LoadFigureDirectory(dir_ / "does_not_exist", ""),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace amdmb::report

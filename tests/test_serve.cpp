@@ -1,0 +1,658 @@
+// Tests for the serve layer: the NDJSON wire protocol, figure-registry
+// lookups, the bounded FIFO-with-priority scheduler, and the daemon end
+// to end over a real Unix-domain socket (byte-compatibility with the
+// standalone bench output, kernel-cache reuse, deterministic overload
+// and drain rejections, and event-stream determinism across runs).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "report/json_sink.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "suite/figures.hpp"
+
+namespace amdmb::serve {
+namespace {
+
+using suite::figures::CurveDef;
+using suite::figures::FigureDef;
+using suite::figures::Find;
+using suite::figures::NormalizeSlug;
+using suite::figures::Registry;
+using suite::figures::RunOptions;
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, SubmitRequestRoundTrips) {
+  Request request;
+  request.op = Request::Op::kSubmit;
+  request.figure = "fig_7";
+  request.quick = true;
+  request.priority = 2;
+  const Request back = ParseRequest(SerializeRequest(request));
+  EXPECT_EQ(back.op, Request::Op::kSubmit);
+  EXPECT_EQ(back.figure, "fig_7");
+  EXPECT_TRUE(back.quick);
+  EXPECT_EQ(back.priority, 2);
+}
+
+TEST(ServeProtocol, StatsAndDrainRequestsRoundTrip) {
+  Request stats;
+  stats.op = Request::Op::kStats;
+  EXPECT_EQ(ParseRequest(SerializeRequest(stats)).op, Request::Op::kStats);
+  Request drain;
+  drain.op = Request::Op::kDrain;
+  EXPECT_EQ(ParseRequest(SerializeRequest(drain)).op, Request::Op::kDrain);
+}
+
+TEST(ServeProtocol, ParseRequestRejectsMalformedLines) {
+  EXPECT_THROW(ParseRequest("not json"), ConfigError);
+  EXPECT_THROW(ParseRequest("[1,2]"), ConfigError);
+  EXPECT_THROW(ParseRequest("{}"), ConfigError);
+  EXPECT_THROW(ParseRequest(R"({"op":"frobnicate"})"), ConfigError);
+  // A submit without a figure slug has nothing to run.
+  EXPECT_THROW(ParseRequest(R"({"op":"submit"})"), ConfigError);
+  // Priorities are integers; silently truncating 1.5 would reorder.
+  EXPECT_THROW(
+      ParseRequest(R"({"op":"submit","figure":"fig_7","priority":1.5})"),
+      ConfigError);
+}
+
+TEST(ServeProtocol, EventSerializersRoundTrip) {
+  Event e = ParseEvent(SerializeAccepted(7, "fig_7", 3));
+  EXPECT_EQ(e.type, EventType::kAccepted);
+  EXPECT_EQ(e.body.NumberOr("request", 0.0), 7.0);
+  EXPECT_EQ(e.body.StringOr("figure", ""), "fig_7");
+  EXPECT_EQ(e.body.NumberOr("queue_depth", -1.0), 3.0);
+
+  e = ParseEvent(SerializeRejected("overloaded", "fig_9"));
+  EXPECT_EQ(e.type, EventType::kRejected);
+  EXPECT_EQ(e.body.StringOr("reason", ""), "overloaded");
+
+  e = ParseEvent(SerializeProgress(7, 1, 10, "4870 Pixel Float"));
+  EXPECT_EQ(e.type, EventType::kProgress);
+  EXPECT_EQ(e.body.NumberOr("index", -1.0), 1.0);
+  EXPECT_EQ(e.body.NumberOr("count", -1.0), 10.0);
+  EXPECT_EQ(e.body.StringOr("curve", ""), "4870 Pixel Float");
+
+  e = ParseEvent(SerializePoint(7, "3870", 0.25, 0.7245));
+  EXPECT_EQ(e.type, EventType::kPoint);
+  EXPECT_EQ(e.body.NumberOr("x", 0.0), 0.25);
+  EXPECT_EQ(e.body.NumberOr("y", 0.0), 0.7245);
+
+  e = ParseEvent(SerializeProfile(7, "3870", "alufetch_r0.25", "alu"));
+  EXPECT_EQ(e.type, EventType::kProfile);
+  EXPECT_EQ(e.body.StringOr("bottleneck", ""), "alu");
+
+  e = ParseEvent(SerializeDone(7, "fig_7", 1.25, 48, 32, "{\"a\": 1}\n"));
+  EXPECT_EQ(e.type, EventType::kDone);
+  EXPECT_EQ(e.body.NumberOr("wall_seconds", 0.0), 1.25);
+  EXPECT_EQ(e.body.NumberOr("cache_hits", 0.0), 48.0);
+  EXPECT_EQ(e.body.NumberOr("cache_misses", 0.0), 32.0);
+  // The embedded figure document survives escaping byte for byte.
+  EXPECT_EQ(e.body.StringOr("figure_json", ""), "{\"a\": 1}\n");
+
+  e = ParseEvent(SerializeError(7, "sweep exploded"));
+  EXPECT_EQ(e.type, EventType::kError);
+  EXPECT_EQ(e.body.StringOr("message", ""), "sweep exploded");
+
+  e = ParseEvent(SerializeDrained(12));
+  EXPECT_EQ(e.type, EventType::kDrained);
+  EXPECT_EQ(e.body.NumberOr("completed", 0.0), 12.0);
+}
+
+TEST(ServeProtocol, ParseEventRejectsUnknownTags) {
+  EXPECT_THROW(ParseEvent("not json"), ConfigError);
+  EXPECT_THROW(ParseEvent(R"({"event":"mystery"})"), ConfigError);
+  EXPECT_THROW(ParseEvent(R"({"no_event_key":1})"), ConfigError);
+}
+
+TEST(ServeProtocol, StatsRoundTripPreservesEveryField) {
+  ServeStats stats;
+  stats.version = "abc123-dirty";
+  stats.queue_depth = 3;
+  stats.in_flight = 2;
+  stats.max_queue = 16;
+  stats.max_inflight = 4;
+  stats.completed = 10;
+  stats.failed = 1;
+  stats.rejected = 2;
+  stats.cache_hits = 128;
+  stats.cache_misses = 32;
+  stats.cache_hit_rate = 0.8;
+  stats.cache_size = 32;
+  stats.latencies = {{"fig_11", 4, 0.5, 0.9, 0.99}, {"fig_7", 6, 1.5, 2.0,
+                                                     2.5}};
+  const Event event = ParseEvent(SerializeStats(stats));
+  ASSERT_EQ(event.type, EventType::kStats);
+  const ServeStats back = ParseStats(event.body);
+  EXPECT_EQ(back.version, stats.version);
+  EXPECT_EQ(back.queue_depth, stats.queue_depth);
+  EXPECT_EQ(back.in_flight, stats.in_flight);
+  EXPECT_EQ(back.max_queue, stats.max_queue);
+  EXPECT_EQ(back.max_inflight, stats.max_inflight);
+  EXPECT_EQ(back.completed, stats.completed);
+  EXPECT_EQ(back.failed, stats.failed);
+  EXPECT_EQ(back.rejected, stats.rejected);
+  EXPECT_EQ(back.cache_hits, stats.cache_hits);
+  EXPECT_EQ(back.cache_misses, stats.cache_misses);
+  EXPECT_DOUBLE_EQ(back.cache_hit_rate, stats.cache_hit_rate);
+  EXPECT_EQ(back.cache_size, stats.cache_size);
+  EXPECT_EQ(back.latencies, stats.latencies);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(FigureRegistry, NormalizeSlugUnifiesSpellings) {
+  EXPECT_EQ(NormalizeSlug("fig_7"), NormalizeSlug("fig07"));
+  EXPECT_EQ(NormalizeSlug("fig_7"), NormalizeSlug("Fig7"));
+  EXPECT_EQ(NormalizeSlug("fig_7"), NormalizeSlug("Fig. 7"));
+  EXPECT_EQ(NormalizeSlug("fig_15a"), NormalizeSlug("Fig15A"));
+  EXPECT_NE(NormalizeSlug("fig_7"), NormalizeSlug("fig_17"));
+  EXPECT_NE(NormalizeSlug("fig_15a"), NormalizeSlug("fig_15b"));
+  // A run of zeros is a value, not padding.
+  EXPECT_EQ(NormalizeSlug("fig00"), NormalizeSlug("fig0"));
+  EXPECT_NE(NormalizeSlug("fig0"), NormalizeSlug("fig"));
+}
+
+TEST(FigureRegistry, CoversFigures7Through17) {
+  std::vector<std::string> slugs;
+  for (const FigureDef& def : Registry()) slugs.push_back(def.slug);
+  const std::vector<std::string> expected = {
+      "fig_7",  "fig_8",  "fig_9",   "fig_10",  "fig_11", "fig_12",
+      "fig_13", "fig_14", "fig_15a", "fig_15b", "fig_16", "fig_17"};
+  EXPECT_EQ(slugs, expected);
+  for (const FigureDef& def : Registry()) {
+    EXPECT_EQ(def.slug, report::FigureSlug(def.id)) << def.id;
+    EXPECT_FALSE(def.curves.empty()) << def.slug;
+    EXPECT_FALSE(def.bench_prefix.empty()) << def.slug;
+  }
+}
+
+TEST(FigureRegistry, FindAcceptsAnySpelling) {
+  const FigureDef* canonical = Find("fig_7");
+  ASSERT_NE(canonical, nullptr);
+  EXPECT_EQ(Find("fig07"), canonical);
+  EXPECT_EQ(Find("Fig7"), canonical);
+  EXPECT_EQ(Find("FIG_07"), canonical);
+  EXPECT_EQ(Find("fig_99"), nullptr);
+  EXPECT_EQ(Find(""), nullptr);
+}
+
+// --------------------------------------------------------------- scheduler
+
+TEST(SchedulerToString, NamesEveryAdmission) {
+  EXPECT_EQ(ToString(Admission::kAccepted), "accepted");
+  EXPECT_EQ(ToString(Admission::kRejectedOverloaded), "overloaded");
+  EXPECT_EQ(ToString(Admission::kRejectedDraining), "draining");
+}
+
+TEST(SchedulerTest, RunsJobsAndWaitsIdle) {
+  Scheduler scheduler(/*max_queue=*/8, /*max_inflight=*/2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    const auto ticket =
+        scheduler.Submit(0, [&](std::uint64_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ticket.admission, Admission::kAccepted);
+  }
+  scheduler.StopAdmission();
+  scheduler.WaitIdle();
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(scheduler.QueueDepth(), 0u);
+  EXPECT_EQ(scheduler.InFlight(), 0u);
+}
+
+TEST(SchedulerTest, PopsByPriorityThenArrivalOrder) {
+  Scheduler scheduler(/*max_queue=*/8, /*max_inflight=*/1);
+  // Block the single worker so the later submits queue up and the pop
+  // order is decided purely by the scheduler, not by timing.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  scheduler.Submit(0, [gate](std::uint64_t) { gate.wait(); });
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto note = [&](std::string name) {
+    return [&, name = std::move(name)](std::uint64_t) {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(name);
+    };
+  };
+  scheduler.Submit(0, note("low-a"));
+  scheduler.Submit(2, note("high-a"));
+  scheduler.Submit(1, note("mid"));
+  scheduler.Submit(2, note("high-b"));
+  scheduler.Submit(0, note("low-b"));
+  release.set_value();
+  scheduler.StopAdmission();
+  scheduler.WaitIdle();
+  EXPECT_EQ(order, (std::vector<std::string>{"high-a", "high-b", "mid",
+                                             "low-a", "low-b"}));
+}
+
+TEST(SchedulerTest, OverloadRejectionIsDeterministic) {
+  // ISSUE acceptance case: queue 1, inflight 1 — the first request may
+  // run, the second may wait, the third must be rejected "overloaded"
+  // no matter how fast the worker is, because admission counts
+  // outstanding work (queued + in-flight), not queue occupancy.
+  Scheduler scheduler(/*max_queue=*/1, /*max_inflight=*/1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  EXPECT_EQ(scheduler.Submit(0, [gate](std::uint64_t) { gate.wait(); })
+                .admission,
+            Admission::kAccepted);
+  EXPECT_EQ(scheduler.Submit(0, [](std::uint64_t) {}).admission,
+            Admission::kAccepted);
+  const auto third = scheduler.Submit(0, [](std::uint64_t) {
+    FAIL() << "an overloaded submit must never execute";
+  });
+  EXPECT_EQ(third.admission, Admission::kRejectedOverloaded);
+  release.set_value();
+  scheduler.StopAdmission();
+  scheduler.WaitIdle();
+}
+
+TEST(SchedulerTest, StopAdmissionRejectsButFinishesAdmittedJobs) {
+  Scheduler scheduler(/*max_queue=*/4, /*max_inflight=*/1);
+  std::atomic<int> ran{0};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  scheduler.Submit(0, [&, gate](std::uint64_t) {
+    gate.wait();
+    ran.fetch_add(1);
+  });
+  scheduler.Submit(0, [&](std::uint64_t) { ran.fetch_add(1); });
+  scheduler.StopAdmission();
+  EXPECT_EQ(scheduler.Submit(0, [](std::uint64_t) {}).admission,
+            Admission::kRejectedDraining);
+  release.set_value();
+  scheduler.WaitIdle();
+  // Both admitted jobs finished; the rejected one never ran.
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(SchedulerTest, AssignsMonotonicRequestIds) {
+  Scheduler scheduler(/*max_queue=*/8, /*max_inflight=*/1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  const auto a = scheduler.Submit(0, [gate](std::uint64_t) { gate.wait(); });
+  const auto b = scheduler.Submit(0, [](std::uint64_t) {});
+  const auto c = scheduler.Submit(0, [](std::uint64_t) {});
+  EXPECT_LT(a.id, b.id);
+  EXPECT_LT(b.id, c.id);
+  release.set_value();
+  scheduler.Shutdown();
+}
+
+// ------------------------------------------------------------ end to end
+
+/// A tiny controllable registry: two deterministic curves that append
+/// fixed points, plus a "blocking" figure whose curve waits on a shared
+/// gate (for overload tests) — no simulator work, so these tests are
+/// fast and timing-independent.
+struct TestRegistry {
+  std::shared_ptr<std::promise<void>> release =
+      std::make_shared<std::promise<void>>();
+  std::shared_future<void> gate = release->get_future().share();
+  std::vector<FigureDef> defs;
+
+  TestRegistry() {
+    FigureDef tiny;
+    tiny.slug = "fig_91";
+    tiny.bench_prefix = "Fig91";
+    tiny.id = "Fig. 91 — Serve Test";
+    tiny.title = "Serve Test";
+    tiny.x_label = "x";
+    tiny.y_label = "y";
+    tiny.paper_claim = "none";
+    tiny.what = "serve test fixture";
+    tiny.curves.push_back(
+        {"alpha", [](report::Figure& figure, const RunOptions& opts) {
+           Series& series = figure.set.Get("alpha");
+           series.Add(1.0, 10.0);
+           if (!opts.quick) series.Add(2.0, 20.0);
+           return series.Points().back().y;
+         }});
+    tiny.curves.push_back(
+        {"beta", [](report::Figure& figure, const RunOptions&) {
+           figure.set.Get("beta").Add(1.0, 100.0);
+           figure.findings.push_back({report::FindingKind::kPlateau,
+                                      "beta", "peak", 100.0, "y", ""});
+           return 100.0;
+         }});
+    defs.push_back(std::move(tiny));
+
+    FigureDef blocking;
+    blocking.slug = "fig_92";
+    blocking.bench_prefix = "Fig92";
+    blocking.id = "Fig. 92 — Serve Block Test";
+    blocking.title = "Serve Block Test";
+    blocking.x_label = "x";
+    blocking.y_label = "y";
+    blocking.paper_claim = "none";
+    blocking.what = "blocks until the test releases it";
+    blocking.curves.push_back(
+        {"wait", [gate = gate](report::Figure& figure, const RunOptions&) {
+           gate.wait();
+           figure.set.Get("wait").Add(1.0, 1.0);
+           return 1.0;
+         }});
+    defs.push_back(std::move(blocking));
+
+    FigureDef failing;
+    failing.slug = "fig_93";
+    failing.bench_prefix = "Fig93";
+    failing.id = "Fig. 93 — Serve Error Test";
+    failing.title = "Serve Error Test";
+    failing.x_label = "x";
+    failing.y_label = "y";
+    failing.paper_claim = "none";
+    failing.what = "throws mid-sweep";
+    failing.curves.push_back(
+        {"boom", [](report::Figure&, const RunOptions&) -> double {
+           throw ConfigError("synthetic sweep failure");
+         }});
+    defs.push_back(std::move(failing));
+  }
+};
+
+std::string TestSocketPath(const char* name) {
+  std::ostringstream os;
+  os << ::testing::TempDir() << "amdmb_test_" << ::getpid() << "_" << name
+     << ".sock";
+  return os.str();
+}
+
+TEST(ServeServer, EndToEndDoneMatchesDirectBuildByteForByte) {
+  TestRegistry registry;
+  registry.release->set_value();  // Nothing should block in this test.
+  ServerConfig config;
+  config.socket_path = TestSocketPath("bytes");
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  RunOptions opts;
+  opts.quick = true;
+  const std::string expected =
+      report::BenchJson(suite::figures::Build(registry.defs[0], opts));
+
+  Client client = Client::Connect(config.socket_path);
+  std::vector<EventType> streamed;
+  const Event done =
+      client.Submit("fig_91", /*quick=*/true, /*priority=*/0,
+                    [&](const Event& event) { streamed.push_back(event.type); });
+  ASSERT_EQ(done.type, EventType::kDone);
+  EXPECT_EQ(done.body.StringOr("figure_json", ""), expected);
+  // accepted, one progress + one point per curve.
+  EXPECT_EQ(streamed,
+            (std::vector<EventType>{EventType::kAccepted, EventType::kProgress,
+                                    EventType::kPoint, EventType::kProgress,
+                                    EventType::kPoint}));
+  server.Drain();
+}
+
+TEST(ServeServer, QuickFlagComesFromTheRequestNotTheEnvironment) {
+  TestRegistry registry;
+  registry.release->set_value();
+  ServerConfig config;
+  config.socket_path = TestSocketPath("quick");
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  Client client = Client::Connect(config.socket_path);
+  const Event quick = client.Submit("fig_91", true, 0);
+  const Event full = client.Submit("fig_91", false, 0);
+  ASSERT_EQ(quick.type, EventType::kDone);
+  ASSERT_EQ(full.type, EventType::kDone);
+  const std::string quick_json = quick.body.StringOr("figure_json", "");
+  const std::string full_json = full.body.StringOr("figure_json", "");
+  EXPECT_NE(quick_json, full_json);  // The full sweep has an extra point.
+  EXPECT_NE(quick_json.find("\"quick\": true"), std::string::npos);
+  EXPECT_NE(full_json.find("\"quick\": false"), std::string::npos);
+  server.Drain();
+}
+
+TEST(ServeServer, UnknownFigureIsRejectedWithoutSideEffects) {
+  TestRegistry registry;
+  registry.release->set_value();
+  ServerConfig config;
+  config.socket_path = TestSocketPath("unknown");
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  Client client = Client::Connect(config.socket_path);
+  const Event rejected = client.Submit("fig_404", true, 0);
+  ASSERT_EQ(rejected.type, EventType::kRejected);
+  EXPECT_EQ(rejected.body.StringOr("reason", ""), "unknown_figure");
+  const ServeStats stats = client.Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  server.Drain();
+}
+
+TEST(ServeServer, SweepErrorIsReportedNotFatal) {
+  TestRegistry registry;
+  registry.release->set_value();
+  ServerConfig config;
+  config.socket_path = TestSocketPath("error");
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  Client client = Client::Connect(config.socket_path);
+  const Event error = client.Submit("fig_93", true, 0);
+  ASSERT_EQ(error.type, EventType::kError);
+  EXPECT_NE(error.body.StringOr("message", "").find("synthetic"),
+            std::string::npos);
+  // The daemon survives: the next request on the same session works.
+  const Event done = client.Submit("fig_91", true, 0);
+  EXPECT_EQ(done.type, EventType::kDone);
+  const ServeStats stats = client.Stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  server.Drain();
+}
+
+TEST(ServeServer, ThirdRequestOverloadsAOneDeepQueue) {
+  TestRegistry registry;
+  ServerConfig config;
+  config.socket_path = TestSocketPath("overload");
+  config.max_queue = 1;
+  config.max_inflight = 1;
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  // Separate sessions so the rejected submit is not stuck behind the
+  // first one's event stream.
+  Client first = Client::Connect(config.socket_path);
+  Client second = Client::Connect(config.socket_path);
+  Client third = Client::Connect(config.socket_path);
+
+  std::promise<void> first_accepted;
+  std::thread first_thread([&] {
+    first.Submit("fig_92", true, 0, [&](const Event& event) {
+      if (event.type == EventType::kAccepted) first_accepted.set_value();
+    });
+  });
+  first_accepted.get_future().wait();  // In flight, blocked on the gate.
+
+  std::promise<void> second_accepted;
+  std::thread second_thread([&] {
+    second.Submit("fig_92", true, 0, [&](const Event& event) {
+      if (event.type == EventType::kAccepted) second_accepted.set_value();
+    });
+  });
+  second_accepted.get_future().wait();  // Queued: capacity is now full.
+
+  const Event rejected = third.Submit("fig_92", true, 0);
+  ASSERT_EQ(rejected.type, EventType::kRejected);
+  EXPECT_EQ(rejected.body.StringOr("reason", ""), "overloaded");
+
+  registry.release->set_value();
+  first_thread.join();
+  second_thread.join();
+  const ServeStats stats = third.Stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  server.Drain();
+}
+
+TEST(ServeServer, DrainRejectsNewSubmitsAndReportsCompleted) {
+  TestRegistry registry;
+  registry.release->set_value();
+  ServerConfig config;
+  config.socket_path = TestSocketPath("drain");
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  Client client = Client::Connect(config.socket_path);
+  ASSERT_EQ(client.Submit("fig_91", true, 0).type, EventType::kDone);
+  EXPECT_FALSE(server.DrainRequested());
+  EXPECT_EQ(client.Drain(), 1u);  // One request had completed.
+  EXPECT_TRUE(server.DrainRequested());
+
+  const Event rejected = client.Submit("fig_91", true, 0);
+  ASSERT_EQ(rejected.type, EventType::kRejected);
+  EXPECT_EQ(rejected.body.StringOr("reason", ""), "draining");
+  server.Drain();
+}
+
+/// Projects an event stream onto its deterministic fields (wall-clock
+/// seconds and cache totals vary run to run; everything else must not).
+std::vector<std::string> DeterministicProjection(
+    const std::vector<Event>& events) {
+  std::vector<std::string> out;
+  for (const Event& event : events) {
+    std::ostringstream os;
+    os << ToString(event.type);
+    switch (event.type) {
+      case EventType::kAccepted:
+        os << " " << event.body.StringOr("figure", "");
+        break;
+      case EventType::kProgress:
+        os << " " << event.body.NumberOr("index", -1.0) << "/"
+           << event.body.NumberOr("count", -1.0) << " "
+           << event.body.StringOr("curve", "");
+        break;
+      case EventType::kPoint:
+        os << " " << event.body.StringOr("curve", "") << " "
+           << event.body.NumberOr("x", 0.0) << " "
+           << event.body.NumberOr("y", 0.0);
+        break;
+      case EventType::kDone:
+        os << " " << event.body.StringOr("figure", "") << " "
+           << event.body.StringOr("figure_json", "");
+        break;
+      default:
+        break;
+    }
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+TEST(ServeServer, EventStreamIsDeterministicAcrossRuns) {
+  // Same request sequence, serial execution (inflight 1, concurrency 1)
+  // → identical event streams modulo wall-clock fields, across two
+  // independent daemon instances.
+  const auto run = [](const char* tag) {
+    TestRegistry registry;
+    registry.release->set_value();
+    ServerConfig config;
+    config.socket_path = TestSocketPath(tag);
+    config.max_inflight = 1;
+    config.registry = &registry.defs;
+    Server server(config);
+    server.Start();
+    Client client = Client::Connect(config.socket_path);
+    std::vector<Event> events;
+    for (const bool quick : {true, false, true}) {
+      const Event done = client.Submit(
+          "fig_91", quick, 0,
+          [&](const Event& event) { events.push_back(event); });
+      events.push_back(done);
+    }
+    server.Drain();
+    return DeterministicProjection(events);
+  };
+  EXPECT_EQ(run("det_a"), run("det_b"));
+}
+
+TEST(ServeServer, StatsReportCountsAndLimits) {
+  TestRegistry registry;
+  registry.release->set_value();
+  ServerConfig config;
+  config.socket_path = TestSocketPath("stats");
+  config.max_queue = 5;
+  config.max_inflight = 2;
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  Client client = Client::Connect(config.socket_path);
+  ASSERT_EQ(client.Submit("fig_91", true, 0).type, EventType::kDone);
+  ASSERT_EQ(client.Submit("fig_91", true, 0).type, EventType::kDone);
+  const ServeStats stats = client.Stats();
+  EXPECT_FALSE(stats.version.empty());
+  EXPECT_EQ(stats.max_queue, 5u);
+  EXPECT_EQ(stats.max_inflight, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  ASSERT_EQ(stats.latencies.size(), 1u);
+  EXPECT_EQ(stats.latencies[0].figure, "fig_91");
+  EXPECT_EQ(stats.latencies[0].count, 2u);
+  EXPECT_LE(stats.latencies[0].p50_seconds, stats.latencies[0].p99_seconds);
+  server.Drain();
+}
+
+TEST(ServeServer, LoadGeneratorIsDeterministicAndCompletes) {
+  TestRegistry registry;
+  registry.release->set_value();
+  ServerConfig config;
+  config.socket_path = TestSocketPath("loadgen");
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  LoadGenOptions options;
+  options.socket_path = config.socket_path;
+  options.requests = 6;
+  options.concurrency = 2;
+  options.seed = 42;
+  options.figures = {"fig_91"};
+  const LoadGenReport report = RunLoadGenerator(options);
+  EXPECT_EQ(report.requests, 6u);
+  EXPECT_EQ(report.completed, 6u);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_LE(report.p50_seconds, report.p99_seconds);
+  server.Drain();
+}
+
+TEST(ServeClient, ConnectToMissingSocketIsATypedError) {
+  EXPECT_THROW(Client::Connect(TestSocketPath("nobody_listens")),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace amdmb::serve

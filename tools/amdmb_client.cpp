@@ -1,0 +1,200 @@
+// amdmb_client — CLI for the amdmb_serve daemon.
+//
+// Verbs:
+//   submit <figure> [--quick] [--priority N] [--quiet]
+//       Submits one figure, streams progress/point events to stderr,
+//       and prints the returned schema-v2 figure document (byte-
+//       identical to the bench binary's BENCH_<slug>.json) to stdout.
+//       Exit 0 done, 3 rejected (e.g. overloaded), 1 error.
+//   stats
+//       Prints the daemon's queue/cache/latency statistics.
+//   drain
+//       Asks the daemon to finish admitted sweeps and shut down.
+//   bench --requests N --concurrency K --seed S [--full]
+//         [--figures a,b,c]
+//       Deterministic closed-loop load generator: the request schedule
+//       is a pure function of the seed. Reports throughput and tail
+//       latency.
+//
+// Every verb accepts --socket PATH (default: AMDMB_SERVE_SOCKET, then
+// /tmp/amdmb_serve.sock). --version prints the build's git describe.
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+#include "common/version.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+using namespace amdmb;
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <verb> [options]\n"
+      << "  submit <figure> [--quick] [--priority N] [--quiet]\n"
+      << "  stats\n"
+      << "  drain\n"
+      << "  bench [--requests N] [--concurrency K] [--seed S] [--full]\n"
+      << "        [--figures a,b,c]\n"
+      << "common options: --socket PATH, --version\n";
+  return 2;
+}
+
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::uint64_t ParseCount(const char* flag, const std::string& text) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    throw ConfigError(std::string(flag) + ": not a number: " + text);
+  }
+}
+
+int RunSubmit(serve::Client& client, const std::string& figure, bool quick,
+              int priority, bool quiet) {
+  const serve::Event final_event = client.Submit(
+      figure, quick, priority, [quiet](const serve::Event& event) {
+        if (quiet) return;
+        if (event.type == serve::EventType::kAccepted) {
+          std::cerr << "accepted as request "
+                    << event.body.NumberOr("request", 0.0) << "\n";
+        } else if (event.type == serve::EventType::kProgress) {
+          std::cerr << "curve " << (event.body.NumberOr("index", 0.0) + 1)
+                    << "/" << event.body.NumberOr("count", 0.0) << ": "
+                    << event.body.StringOr("curve", "?") << "\n";
+        }
+      });
+  switch (final_event.type) {
+    case serve::EventType::kDone:
+      std::cout << final_event.body.StringOr("figure_json", "");
+      if (!quiet) {
+        std::cerr << "done in "
+                  << FormatDouble(
+                         final_event.body.NumberOr("wall_seconds", 0.0), 3)
+                  << " s (cache hits "
+                  << final_event.body.NumberOr("cache_hits", 0.0)
+                  << ", misses "
+                  << final_event.body.NumberOr("cache_misses", 0.0)
+                  << ")\n";
+      }
+      return 0;
+    case serve::EventType::kRejected:
+      std::cerr << "rejected: " << final_event.body.StringOr("reason", "?")
+                << "\n";
+      return 3;
+    default:
+      std::cerr << "error: "
+                << final_event.body.StringOr("message", "unknown") << "\n";
+      return 1;
+  }
+}
+
+int RunStats(serve::Client& client) {
+  const serve::ServeStats stats = client.Stats();
+  std::cout << "amdmb_serve " << stats.version << "\n"
+            << "queue " << stats.queue_depth << "/" << stats.max_queue
+            << ", in-flight " << stats.in_flight << "/"
+            << stats.max_inflight << "\n"
+            << "completed " << stats.completed << ", failed "
+            << stats.failed << ", rejected " << stats.rejected << "\n"
+            << "kernel cache: " << stats.cache_hits << " hits, "
+            << stats.cache_misses << " misses (hit rate "
+            << FormatDouble(stats.cache_hit_rate, 3) << "), "
+            << stats.cache_size << " entries\n";
+  for (const serve::FigureLatency& l : stats.latencies) {
+    std::cout << "  " << l.figure << ": " << l.count << " done, p50 "
+              << FormatDouble(l.p50_seconds, 3) << " s, p90 "
+              << FormatDouble(l.p90_seconds, 3) << " s, p99 "
+              << FormatDouble(l.p99_seconds, 3) << " s\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string socket_path = env::Get().serve_socket.value_or(
+        std::string(env::kDefaultServeSocket));
+    std::string verb;
+    std::string figure;
+    bool quick = false;
+    bool quiet = false;
+    int priority = 0;
+    serve::LoadGenOptions load;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--version") {
+        std::cout << "amdmb_client " << SuiteVersion() << "\n";
+        return 0;
+      } else if (arg == "--socket" && i + 1 < argc) {
+        socket_path = argv[++i];
+      } else if (arg == "--quick") {
+        quick = true;
+      } else if (arg == "--full") {
+        load.quick = false;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--priority" && i + 1 < argc) {
+        priority = static_cast<int>(ParseCount("--priority", argv[++i]));
+      } else if (arg == "--requests" && i + 1 < argc) {
+        load.requests =
+            static_cast<std::size_t>(ParseCount("--requests", argv[++i]));
+      } else if (arg == "--concurrency" && i + 1 < argc) {
+        load.concurrency =
+            static_cast<unsigned>(ParseCount("--concurrency", argv[++i]));
+      } else if (arg == "--seed" && i + 1 < argc) {
+        load.seed = ParseCount("--seed", argv[++i]);
+      } else if (arg == "--figures" && i + 1 < argc) {
+        load.figures = SplitCommaList(argv[++i]);
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Usage(argv[0]);
+      } else if (verb.empty()) {
+        verb = arg;
+      } else if (verb == "submit" && figure.empty()) {
+        figure = arg;
+      } else {
+        return Usage(argv[0]);
+      }
+    }
+    if (verb.empty()) return Usage(argv[0]);
+
+    if (verb == "bench") {
+      load.socket_path = socket_path;
+      const serve::LoadGenReport report = serve::RunLoadGenerator(load);
+      std::cout << report.Render();
+      return report.failed == 0 ? 0 : 1;
+    }
+
+    serve::Client client = serve::Client::Connect(socket_path);
+    if (verb == "submit") {
+      if (figure.empty()) return Usage(argv[0]);
+      return RunSubmit(client, figure, quick, priority, quiet);
+    }
+    if (verb == "stats") return RunStats(client);
+    if (verb == "drain") {
+      const std::uint64_t completed = client.Drain();
+      std::cout << "drained (" << completed << " requests completed)\n";
+      return 0;
+    }
+    return Usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::cerr << "amdmb_client: " << e.what() << "\n";
+    return 1;
+  }
+}

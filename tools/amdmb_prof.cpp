@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "amdmb.hpp"
+#include "common/version.hpp"
 #include "prof/chrome_trace.hpp"
 #include "prof/profile_json.hpp"
 #include "report/json_sink.hpp"
@@ -227,7 +228,10 @@ int main(int argc, char** argv) {
       return std::string(argv[++i]);
     };
     try {
-      if (std::strcmp(argv[i], "--list") == 0) {
+      if (std::strcmp(argv[i], "--version") == 0) {
+        std::cout << "amdmb_prof " << amdmb::SuiteVersion() << "\n";
+        return 0;
+      } else if (std::strcmp(argv[i], "--list") == 0) {
         list = true;
       } else if (std::strcmp(argv[i], "--json") == 0) {
         json = true;

@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "common/interrupt.hpp"
 #include "common/status.hpp"
+#include "common/version.hpp"
 #include "report/aggregate.hpp"
 #include "report/expectations.hpp"
 #include "report/load.hpp"
@@ -29,7 +31,7 @@ namespace {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <json-dir> [--out FILE] [--strict] [--figure SLUG]"
-               " [--list]\n";
+               " [--list] [--version]\n";
   return 2;
 }
 
@@ -42,7 +44,10 @@ int main(int argc, char** argv) {
   bool strict = false;
   bool list = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--strict") == 0) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::cout << "amdmb_report " << amdmb::SuiteVersion() << "\n";
+      return 0;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list = true;
@@ -61,6 +66,11 @@ int main(int argc, char** argv) {
     }
   }
   if (json_dir.empty()) return Usage(argv[0]);
+
+  // SIGINT/SIGTERM between load and write no longer truncates --out
+  // files: the run is cut short at the next checkpoint and whatever is
+  // complete is flushed with a visible interruption note.
+  amdmb::InstallInterruptHandlers();
 
   try {
     using namespace amdmb::report;
@@ -81,7 +91,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     const std::vector<ExpectationResult> checks = CheckExpectations(figures);
-    const std::string summary = SuiteSummaryMarkdown(figures, checks);
+    std::string summary = SuiteSummaryMarkdown(figures, checks);
+    if (amdmb::InterruptRequested()) {
+      summary += "\n> **Interrupted** (";
+      summary += amdmb::DescribeSignal(amdmb::InterruptSignal());
+      summary += "): summary flushed before exit; re-run to regenerate.\n";
+    }
     if (out_path.empty()) {
       std::cout << summary;
     } else {
