@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# End-to-end chaos smoke test of the supervised amdmb_serve fleet:
+#
+#   1. start amdmb_serve with a three-worker fleet under a seeded
+#      AMDMB_FAULTS worker_crash schedule (fast 50 ms heartbeats so
+#      seeded crashes fire quickly),
+#   2. wait until the supervisor reports every worker healthy,
+#   3. run the seeded load generator with one injected worker kill and
+#      assert every request terminated with a typed outcome
+#      (completed + rejected + failed == requests),
+#   4. assert the supervisor restarted at least one worker,
+#   5. SIGTERM the daemon and assert a clean drain (exit 0).
+#
+# Usage: scripts/chaos_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: chaos_smoke.sh <build-dir>}
+BUILD_DIR=$(cd "$BUILD_DIR" && pwd)
+WORK_DIR=$(mktemp -d)
+SOCKET="$WORK_DIR/chaos.sock"
+SERVE="$BUILD_DIR/tools/amdmb_serve"
+CLIENT="$BUILD_DIR/tools/amdmb_client"
+
+export AMDMB_QUICK=1
+# The fault schedule is a pure function of (seed, site, worker#seq), so
+# the same seed replays the same crash points on every CI run.
+export AMDMB_FAULTS="worker_crash:0.01,seed=7"
+
+SERVE_PID=
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -KILL "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+echo "== starting a 3-worker fleet on $SOCKET (AMDMB_FAULTS=$AMDMB_FAULTS)"
+"$SERVE" --socket "$SOCKET" --queue 8 --inflight 1 \
+  --workers 3 --heartbeat-ms 50 \
+  > "$WORK_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 100); do
+  [[ -S "$SOCKET" ]] && break
+  sleep 0.1
+done
+[[ -S "$SOCKET" ]] || { cat "$WORK_DIR/serve.log"; exit 1; }
+
+echo "== waiting for every worker to report healthy"
+HEALTHY=0
+for _ in $(seq 200); do
+  HEALTHY=$("$CLIENT" stats --socket "$SOCKET" --connect-retries 5 \
+    | grep -c "worker .*: healthy" || true)
+  [[ "$HEALTHY" -eq 3 ]] && break
+  sleep 0.1
+done
+[[ "$HEALTHY" -eq 3 ]] || {
+  echo "fleet never became fully healthy"; cat "$WORK_DIR/serve.log"; exit 1;
+}
+
+echo "== chaos load: 12 seeded requests with 1 injected worker kill"
+"$CLIENT" bench --requests 12 --concurrency 3 --seed 7 \
+  --figures fig_7 --kill-worker 1 --connect-retries 5 \
+  --socket "$SOCKET" | tee "$WORK_DIR/chaos.txt"
+
+# Every request must have ended in exactly one typed terminal outcome.
+read -r REQUESTS COMPLETED REJECTED FAILED < <(sed -n \
+  's/^load generator: \([0-9]*\) requests, \([0-9]*\) completed, \([0-9]*\) rejected, \([0-9]*\) failed$/\1 \2 \3 \4/p' \
+  "$WORK_DIR/chaos.txt")
+[[ -n "${REQUESTS:-}" ]] || { echo "could not parse the report"; exit 1; }
+[[ "$REQUESTS" -eq 12 ]] || { echo "expected 12 requests"; exit 1; }
+[[ $((COMPLETED + REJECTED + FAILED)) -eq "$REQUESTS" ]] || {
+  echo "typed outcomes ($COMPLETED + $REJECTED + $FAILED) do not cover" \
+       "all $REQUESTS requests"; exit 1;
+}
+[[ "$COMPLETED" -gt 0 ]] || { echo "nothing completed under chaos"; exit 1; }
+grep -q "chaos: 1 worker kill" "$WORK_DIR/chaos.txt" || {
+  echo "the injected worker kill is missing from the report"; exit 1;
+}
+echo "   $COMPLETED completed + $REJECTED rejected + $FAILED failed" \
+     "== $REQUESTS requests"
+
+echo "== the supervisor restarted the killed worker"
+RESTARTED=0
+for _ in $(seq 200); do
+  RESTARTED=$("$CLIENT" stats --socket "$SOCKET" --connect-retries 5 \
+    | grep -c "worker .*: healthy, pid [0-9]*, restarts [1-9]" || true)
+  [[ "$RESTARTED" -ge 1 ]] && break
+  sleep 0.1
+done
+[[ "$RESTARTED" -ge 1 ]] || {
+  echo "no worker was restarted"; cat "$WORK_DIR/serve.log"; exit 1;
+}
+
+echo "== SIGTERM drain"
+kill -TERM "$SERVE_PID"
+DRAIN_EXIT=0
+wait "$SERVE_PID" || DRAIN_EXIT=$?
+SERVE_PID=
+cat "$WORK_DIR/serve.log"
+[[ "$DRAIN_EXIT" -eq 0 ]] || {
+  echo "daemon exited $DRAIN_EXIT, expected clean drain (0)"; exit 1;
+}
+[[ ! -S "$SOCKET" ]] || { echo "socket not unlinked on drain"; exit 1; }
+echo "== chaos smoke passed"

@@ -13,6 +13,7 @@
 set -euo pipefail
 
 BUILD_DIR=${1:?usage: serve_smoke.sh <build-dir>}
+BUILD_DIR=$(cd "$BUILD_DIR" && pwd)  # The script cds around; stay valid.
 WORK_DIR=$(mktemp -d)
 SOCKET="$WORK_DIR/serve.sock"
 SERVE="$BUILD_DIR/tools/amdmb_serve"

@@ -20,6 +20,10 @@
 //   AMDMB_SERVE_SOCKET    amdmb_serve / amdmb_client Unix-socket path.
 //   AMDMB_SERVE_QUEUE     daemon admission queue depth, [0, 4096].
 //   AMDMB_SERVE_INFLIGHT  daemon max concurrent sweeps, [1, 64].
+//   AMDMB_WORKERS         supervised worker processes, [0, 32]; 0 = the
+//                         single-process daemon (no fleet).
+//   AMDMB_DEADLINE_MS     per-request deadline in ms, 0 = unlimited.
+//   AMDMB_HEARTBEAT_MS    worker heartbeat interval in ms, [10, 60000].
 #pragma once
 
 #include <cstdint>
@@ -50,6 +54,9 @@ struct Options {
   std::optional<std::string> serve_socket;
   std::size_t serve_queue = 16;          ///< AMDMB_SERVE_QUEUE, [0, 4096].
   unsigned serve_inflight = 1;           ///< AMDMB_SERVE_INFLIGHT, [1, 64].
+  unsigned workers = 0;                  ///< AMDMB_WORKERS, [0, 32].
+  std::uint64_t deadline_ms = 0;         ///< AMDMB_DEADLINE_MS, 0 = off.
+  std::uint64_t heartbeat_ms = 250;      ///< AMDMB_HEARTBEAT_MS.
 };
 
 /// Socket path used when AMDMB_SERVE_SOCKET is unset.
@@ -75,6 +82,18 @@ std::size_t ParseServeQueue(std::string_view text);
 /// AMDMB_SERVE_INFLIGHT grammar: concurrent-sweep bound in [1, 64].
 /// Throws ConfigError.
 unsigned ParseServeInflight(std::string_view text);
+
+/// AMDMB_WORKERS grammar: supervised worker-process count in [0, 32]
+/// (0 = single-process daemon). Throws ConfigError.
+unsigned ParseWorkerCount(std::string_view text);
+
+/// AMDMB_DEADLINE_MS grammar: a non-negative millisecond count
+/// (0 = no per-request deadline). Throws ConfigError.
+std::uint64_t ParseDeadlineMs(std::string_view text);
+
+/// AMDMB_HEARTBEAT_MS grammar: heartbeat interval in [10, 60000] ms.
+/// Throws ConfigError.
+std::uint64_t ParseHeartbeatMs(std::string_view text);
 
 /// Pure parser behind Get(): `lookup` plays the role of getenv (returns
 /// nullptr when a variable is unset; empty strings count as unset, the

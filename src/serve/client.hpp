@@ -18,7 +18,11 @@ namespace amdmb::serve {
 class Client {
  public:
   /// Connects to a daemon. Throws ConfigError when nothing listens.
-  static Client Connect(const std::string& socket_path);
+  /// `retries` > 0 re-attempts the connect that many times with capped
+  /// exponential backoff (50 ms doubling, 1 s ceiling) — for racing a
+  /// daemon that is still binding its socket. Default is fail-fast.
+  static Client Connect(const std::string& socket_path,
+                        unsigned retries = 0);
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
@@ -40,6 +44,11 @@ class Client {
   /// done. Returns the daemon's completed-request count.
   std::uint64_t Drain();
 
+  /// Chaos: asks a fleet supervisor to SIGKILL worker `index`; blocks
+  /// until the "killed" acknowledgement. Throws ConfigError when the
+  /// daemon is not a supervisor or the index is out of range.
+  void KillWorker(unsigned index);
+
  private:
   explicit Client(int fd) : session_(std::make_unique<Session>(fd)) {}
 
@@ -60,6 +69,13 @@ struct LoadGenOptions {
   bool quick = true;
   /// Figures the generator draws from (round-robin-free, seeded picks).
   std::vector<std::string> figures = {"fig_7", "fig_11", "fig_13"};
+  /// Connect retries for each generator connection (see Client::Connect).
+  unsigned connect_retries = 0;
+  /// Chaos mode (amdmb_client --kill-worker): SIGKILL this many workers
+  /// during the run. Kill points (request index) and targets (worker
+  /// slot) are drawn from the same seed as the request plan, so a chaos
+  /// run is replayable. Requires a fleet daemon (stats report workers).
+  unsigned kill_workers = 0;
 };
 
 struct LoadGenReport {
@@ -67,11 +83,17 @@ struct LoadGenReport {
   std::size_t completed = 0;
   std::size_t rejected = 0;
   std::size_t failed = 0;
+  std::size_t worker_lost = 0;        ///< error kind=worker_lost.
+  std::size_t deadline_exceeded = 0;  ///< error kind=deadline_exceeded.
+  std::size_t kills = 0;              ///< Chaos kill_worker ops issued.
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;  ///< Completed requests per second.
   double p50_seconds = 0.0;     ///< Completed-request latency tails.
   double p90_seconds = 0.0;
   double p99_seconds = 0.0;
+  /// Completed / (requests - rejected): the fraction of admitted
+  /// requests that survived the chaos to a done event.
+  double availability = 0.0;
 
   /// Human-readable summary block.
   std::string Render() const;

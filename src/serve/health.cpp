@@ -1,0 +1,61 @@
+#include "serve/health.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace amdmb::serve {
+
+std::string_view ToString(WorkerState state) {
+  switch (state) {
+    case WorkerState::kStarting: return "starting";
+    case WorkerState::kHealthy: return "healthy";
+    case WorkerState::kDegraded: return "degraded";
+    case WorkerState::kDead: return "dead";
+  }
+  throw SimError("ToString(WorkerState): unknown value");
+}
+
+double RestartBackoffMs(const HealthPolicy& policy, unsigned restarts) {
+  Check(restarts >= 1, "RestartBackoffMs: restarts is 1-based");
+  double delay = policy.backoff_base_ms;
+  for (unsigned i = 1; i < restarts && delay < policy.backoff_cap_ms; ++i) {
+    delay *= 2.0;
+  }
+  return std::min(delay, policy.backoff_cap_ms);
+}
+
+void HealthTracker::OnSpawned() {
+  if (spawned_once_) ++restarts_;
+  spawned_once_ = true;
+  state_ = WorkerState::kStarting;
+  misses_ = 0;
+}
+
+void HealthTracker::OnPong() {
+  state_ = WorkerState::kHealthy;
+  misses_ = 0;
+}
+
+bool HealthTracker::OnMiss() {
+  if (state_ == WorkerState::kDead) return false;
+  ++misses_;
+  // A worker that is still binding its socket has answered nothing yet;
+  // give it twice the running budget before declaring the spawn failed.
+  const unsigned limit = state_ == WorkerState::kStarting
+                             ? policy_.miss_threshold * 2
+                             : policy_.miss_threshold;
+  if (misses_ >= limit) {
+    state_ = WorkerState::kDead;
+    return true;
+  }
+  if (state_ != WorkerState::kStarting) state_ = WorkerState::kDegraded;
+  return false;
+}
+
+void HealthTracker::OnExit() {
+  state_ = WorkerState::kDead;
+  misses_ = 0;
+}
+
+}  // namespace amdmb::serve

@@ -1,0 +1,89 @@
+// Typed worker state machine and heartbeat/restart policy for the
+// supervised fleet.
+//
+// The supervisor pings every worker each heartbeat interval. The
+// tracker is a pure state machine over those observations — spawned,
+// pong, miss, process exit — so the transition rules are unit-testable
+// without processes or sockets:
+//
+//   starting --pong--> healthy
+//   healthy  --miss--> degraded
+//   degraded --pong--> healthy
+//   degraded --miss (>= miss_threshold total)--> dead
+//   any      --exit--> dead
+//   dead     --spawned (after capped deterministic backoff)--> starting
+//
+// Restart backoff is capped exponential with no jitter — delay depends
+// only on the restart count — so a seeded kill schedule (src/fault's
+// worker_crash / worker_hang sites) reproduces the identical recovery
+// timeline across runs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace amdmb::serve {
+
+/// The typed worker states, in lifecycle order.
+enum class WorkerState {
+  kStarting,  ///< Forked; has not answered a heartbeat yet.
+  kHealthy,   ///< Last heartbeat answered.
+  kDegraded,  ///< Missed at least one heartbeat, fewer than the limit.
+  kDead,      ///< Exited, or missed miss_threshold heartbeats in a row.
+};
+
+std::string_view ToString(WorkerState state);
+
+/// Heartbeat and restart knobs shared by the supervisor and its tests.
+struct HealthPolicy {
+  std::uint64_t heartbeat_ms = 250;  ///< AMDMB_HEARTBEAT_MS.
+  unsigned miss_threshold = 3;       ///< Consecutive misses until dead.
+  double backoff_base_ms = 50.0;     ///< First restart delay.
+  double backoff_cap_ms = 2000.0;    ///< Exponential restart ceiling.
+};
+
+/// Deterministic restart delay before respawn number `restarts`
+/// (1-based): min(cap, base * 2^(restarts-1)).
+double RestartBackoffMs(const HealthPolicy& policy, unsigned restarts);
+
+/// Pure per-worker state machine. The supervisor owns one per slot and
+/// feeds it heartbeat observations; it never touches sockets itself.
+class HealthTracker {
+ public:
+  explicit HealthTracker(const HealthPolicy& policy) : policy_(policy) {}
+
+  WorkerState state() const { return state_; }
+  unsigned misses() const { return misses_; }
+  unsigned restarts() const { return restarts_; }
+
+  /// A (re)spawn happened: dead/initial -> starting. Counts restarts
+  /// from the second spawn onward.
+  void OnSpawned();
+
+  /// A heartbeat was answered: starting/degraded -> healthy, misses
+  /// reset.
+  void OnPong();
+
+  /// A heartbeat went unanswered. Starting workers are given
+  /// miss_threshold * 2 grace beats to come up; running workers degrade
+  /// and die at miss_threshold consecutive misses. Returns true when
+  /// this miss killed the worker (the caller should SIGKILL + reap).
+  bool OnMiss();
+
+  /// The process was reaped (crash or kill): -> dead immediately.
+  void OnExit();
+
+  /// Delay before the next respawn, from the restart count.
+  double NextBackoffMs() const {
+    return RestartBackoffMs(policy_, restarts_ + 1);
+  }
+
+ private:
+  HealthPolicy policy_;
+  WorkerState state_ = WorkerState::kDead;  ///< Until the first spawn.
+  unsigned misses_ = 0;
+  unsigned restarts_ = 0;
+  bool spawned_once_ = false;
+};
+
+}  // namespace amdmb::serve

@@ -1,0 +1,87 @@
+#include "serve/net.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace amdmb::serve {
+
+namespace {
+
+sockaddr_un MakeAddress(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw ConfigError("serve: socket path too long: " + path);
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// A crashed daemon leaves its socket file behind; blindly unlinking
+/// would also steal the address from a *live* daemon. Probe with a
+/// connect: refused / no listener means stale (unlink it), success
+/// means another daemon owns the path — a typed error, not a takeover.
+void RemoveStaleSocket(const std::string& path, const sockaddr_un& addr) {
+  if (::access(path.c_str(), F_OK) != 0) return;  // Nothing to remove.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe < 0) {
+    throw ConfigError(std::string("serve: socket() failed: ") +
+                      std::strerror(errno));
+  }
+  const int connected = ::connect(
+      probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  ::close(probe);
+  if (connected == 0) {
+    throw ConfigError("serve: socket path " + path +
+                      " is owned by a live daemon (connect succeeded); "
+                      "stop it or pick another --socket path");
+  }
+  ::unlink(path.c_str());  // Stale: no listener behind the file.
+}
+
+}  // namespace
+
+int MakeListenSocket(const std::string& path) {
+  const sockaddr_un addr = MakeAddress(path);
+  RemoveStaleSocket(path, addr);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ConfigError(std::string("serve: socket() failed: ") +
+                      std::strerror(errno));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw ConfigError("serve: bind(" + path +
+                      ") failed: " + std::strerror(err));
+  }
+  if (::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw ConfigError("serve: listen(" + path +
+                      ") failed: " + std::strerror(err));
+  }
+  return fd;
+}
+
+int ConnectUnixSocket(const std::string& path) {
+  const sockaddr_un addr = MakeAddress(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace amdmb::serve

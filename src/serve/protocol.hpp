@@ -5,22 +5,33 @@
 //   {"op":"submit","figure":"fig_7","quick":true,"priority":0}
 //   {"op":"stats"}
 //   {"op":"drain"}
+//   {"op":"ping","seq":12}            (heartbeat; supervisor -> worker)
+//   {"op":"kill_worker","worker":1}   (chaos testing; supervisor only)
 //
 // Responses stream back as one-line JSON events tagged "event":
 //   accepted  — the submit was admitted; carries the request id.
-//   rejected  — admission refused ("overloaded" / "draining") or the
-//               figure slug is unknown ("unknown_figure"); terminal.
+//   rejected  — admission refused ("overloaded" / "draining" /
+//               "unavailable") or the figure slug is unknown
+//               ("unknown_figure"); terminal.
 //   progress  — one figure curve finished (index / count / name).
 //   point     — one measured sweep point (curve, x, y).
 //   profile   — one profiled sweep point rode the curve.
 //   done      — the request completed; carries the full schema-v2
 //               BENCH figure document as the "figure_json" string
 //               (byte-identical to the standalone bench binary's file).
-//   error     — the sweep threw; carries the message; terminal.
+//   error     — terminal failure; carries the message plus a typed
+//               "kind": sweep_failed (the sweep threw),
+//               deadline_exceeded (AMDMB_DEADLINE_MS expired),
+//               worker_lost (the executing worker process died
+//               mid-stream), protocol_error (malformed/oversized
+//               request line).
 //   stats     — response to a stats request (queue depth, cache hit
-//               rate, per-figure latency percentiles).
+//               rate, per-figure latency percentiles, fleet health).
 //   drained   — response to a drain request once every admitted sweep
 //               has finished.
+//   pong      — heartbeat reply; carries the worker index, the echoed
+//               seq, and the worker's completion/cache counters.
+//   killed    — acknowledgement of a kill_worker chaos request.
 //
 // Serialization reuses the report layer's JSON primitives (JsonEscape /
 // JsonNumber / JsonValue), so the daemon has no second JSON dialect.
@@ -38,12 +49,14 @@ namespace amdmb::serve {
 
 /// Parsed client request.
 struct Request {
-  enum class Op { kSubmit, kStats, kDrain };
+  enum class Op { kSubmit, kStats, kDrain, kPing, kKillWorker };
 
   Op op = Op::kStats;
   std::string figure;  ///< Submit only: figure slug (any spelling).
   bool quick = false;  ///< Submit only: smoke-scale sweep.
   int priority = 0;    ///< Submit only: higher pops first.
+  std::uint64_t seq = 0;  ///< Ping only: heartbeat sequence number.
+  unsigned worker = 0;    ///< KillWorker only: target worker index.
 };
 
 /// Parses one request line. Throws ConfigError naming what is malformed
@@ -64,9 +77,23 @@ enum class EventType {
   kError,
   kStats,
   kDrained,
+  kPong,
+  kKilled,
 };
 
 std::string_view ToString(EventType type);
+
+/// Typed classification of terminal "error" events. Every submitted
+/// request ends in exactly one of done / rejected / error(kind) — the
+/// exactly-once contract the fleet tests assert.
+enum class ErrorKind {
+  kSweepFailed,       ///< The sweep body threw.
+  kDeadlineExceeded,  ///< The per-request deadline expired.
+  kWorkerLost,        ///< The executing worker died mid-stream.
+  kProtocolError,     ///< Malformed or oversized request line.
+};
+
+std::string_view ToString(ErrorKind kind);
 
 /// One parsed response line: the type tag plus the full JSON payload
 /// (typed field access goes through `body`).
@@ -97,8 +124,22 @@ std::string SerializeDone(std::uint64_t id, std::string_view figure,
                           double wall_seconds, std::uint64_t cache_hits,
                           std::uint64_t cache_misses,
                           std::string_view figure_json);
-std::string SerializeError(std::uint64_t id, std::string_view message);
+std::string SerializeError(std::uint64_t id, ErrorKind kind,
+                           std::string_view message);
 std::string SerializeDrained(std::uint64_t completed);
+
+/// Counters a worker reports with every heartbeat reply (the
+/// supervisor's cluster stats aggregate the last pong of each worker).
+struct PongStats {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+std::string SerializePong(unsigned worker, std::uint64_t seq,
+                          const PongStats& stats);
+std::string SerializeKilled(unsigned worker);
 
 /// Latency summary of one figure's completed requests.
 struct FigureLatency {
@@ -109,6 +150,21 @@ struct FigureLatency {
   double p99_seconds = 0.0;
 
   bool operator==(const FigureLatency&) const = default;
+};
+
+/// Health snapshot of one supervised worker process, as reported in
+/// the supervisor's stats event. `state` is the typed worker state
+/// machine rendered via health.hpp's ToString (starting / healthy /
+/// degraded / dead).
+struct WorkerStatus {
+  unsigned index = 0;
+  std::string state;
+  long pid = -1;            ///< -1 while dead / not yet spawned.
+  unsigned restarts = 0;    ///< Times the supervisor respawned the slot.
+  std::uint64_t outstanding = 0;  ///< Routed requests not yet terminal.
+  std::uint64_t generation = 0;   ///< Bumped on every respawn.
+
+  bool operator==(const WorkerStatus&) const = default;
 };
 
 /// The stats-event payload.
@@ -126,6 +182,8 @@ struct ServeStats {
   double cache_hit_rate = 0.0;
   std::size_t cache_size = 0;
   std::vector<FigureLatency> latencies;  ///< Sorted by figure slug.
+  /// Fleet mode only: one entry per worker slot, sorted by index.
+  std::vector<WorkerStatus> workers;
 };
 
 std::string SerializeStats(const ServeStats& stats);

@@ -1,13 +1,21 @@
 #include "serve/result_store.hpp"
 
 #include "common/stats.hpp"
+#include "common/status.hpp"
 
 namespace amdmb::serve {
+
+ResultStore::ResultStore(std::size_t window) : window_(window) {
+  Require(window >= 1, "ResultStore: window must be >= 1");
+}
 
 void ResultStore::RecordCompleted(const std::string& figure,
                                   double wall_seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
-  samples_[figure].push_back(wall_seconds);
+  FigureSamples& samples = samples_[figure];
+  samples.window.push_back(wall_seconds);
+  if (samples.window.size() > window_) samples.window.pop_front();
+  ++samples.total;
   ++completed_;
 }
 
@@ -37,6 +45,12 @@ std::uint64_t ResultStore::Rejected() const {
   return rejected_;
 }
 
+std::size_t ResultStore::RetainedSamples(const std::string& figure) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = samples_.find(figure);
+  return it == samples_.end() ? 0 : it->second.window.size();
+}
+
 std::vector<FigureLatency> ResultStore::Latencies() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<FigureLatency> out;
@@ -44,11 +58,13 @@ std::vector<FigureLatency> ResultStore::Latencies() const {
   for (const auto& [figure, samples] : samples_) {
     FigureLatency l;
     l.figure = figure;
-    l.count = samples.size();
-    if (!samples.empty()) {
-      l.p50_seconds = Percentile(samples, 50.0);
-      l.p90_seconds = Percentile(samples, 90.0);
-      l.p99_seconds = Percentile(samples, 99.0);
+    l.count = static_cast<std::size_t>(samples.total);
+    if (!samples.window.empty()) {
+      const std::vector<double> recent(samples.window.begin(),
+                                       samples.window.end());
+      l.p50_seconds = Percentile(recent, 50.0);
+      l.p90_seconds = Percentile(recent, 90.0);
+      l.p99_seconds = Percentile(recent, 99.0);
     }
     out.push_back(std::move(l));
   }

@@ -2,9 +2,15 @@
 // the completed / failed / rejected counters behind the stats event.
 // Thread-safe — worker threads record completions while session threads
 // read snapshots.
+//
+// Latency samples are evicted FIFO beyond `window` entries per figure,
+// so a long-lived daemon holds bounded memory no matter how many
+// requests it serves: percentiles cover the most recent `window`
+// completions while FigureLatency::count stays cumulative.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -16,6 +22,12 @@ namespace amdmb::serve {
 
 class ResultStore {
  public:
+  /// Default per-figure latency window (recent samples retained for
+  /// percentile estimates).
+  static constexpr std::size_t kDefaultWindow = 512;
+
+  explicit ResultStore(std::size_t window = kDefaultWindow);
+
   /// Records one finished sweep (wall-clock seconds from accept to done).
   void RecordCompleted(const std::string& figure, double wall_seconds);
   void RecordFailed(const std::string& figure);
@@ -25,13 +37,23 @@ class ResultStore {
   std::uint64_t Failed() const;
   std::uint64_t Rejected() const;
 
-  /// Per-figure latency percentiles (p50/p90/p99 via common/stats),
-  /// sorted by figure slug for deterministic stats output.
+  /// Retained sample count for one figure (<= window; testing hook).
+  std::size_t RetainedSamples(const std::string& figure) const;
+
+  /// Per-figure latency percentiles (p50/p90/p99 via common/stats) over
+  /// the retained window, with cumulative completion counts; sorted by
+  /// figure slug for deterministic stats output.
   std::vector<FigureLatency> Latencies() const;
 
  private:
+  struct FigureSamples {
+    std::deque<double> window;   ///< Most recent `window_` latencies.
+    std::uint64_t total = 0;     ///< Cumulative completions.
+  };
+
+  const std::size_t window_;
   mutable std::mutex mutex_;
-  std::map<std::string, std::vector<double>> samples_;
+  std::map<std::string, FigureSamples> samples_;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t rejected_ = 0;

@@ -1,0 +1,67 @@
+#include "serve/routing.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace amdmb::serve {
+
+namespace {
+
+/// SplitMix64 finalizer (same mixer the fault injector uses): full
+/// avalanche, so consecutive vnode indices scatter across the ring.
+constexpr std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t HashKey(std::string_view key) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a.
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return Mix(h);
+}
+
+}  // namespace
+
+HashRing::HashRing(unsigned workers, unsigned vnodes) : workers_(workers) {
+  Require(workers >= 1, "HashRing: need at least one worker slot");
+  Require(vnodes >= 1, "HashRing: need at least one vnode per slot");
+  points_.reserve(static_cast<std::size_t>(workers) * vnodes);
+  for (unsigned slot = 0; slot < workers; ++slot) {
+    for (unsigned v = 0; v < vnodes; ++v) {
+      points_.push_back(
+          {Mix((static_cast<std::uint64_t>(slot) << 32) | v), slot});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.slot < b.slot;
+            });
+}
+
+std::optional<unsigned> HashRing::Route(
+    std::string_view key, const std::vector<bool>& eligible) const {
+  Check(eligible.size() == workers_, "HashRing::Route: mask size mismatch");
+  const std::uint64_t h = HashKey(key);
+  const auto start = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  const std::size_t begin =
+      static_cast<std::size_t>(start - points_.begin());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Point& point = points_[(begin + i) % points_.size()];
+    if (eligible[point.slot]) return point.slot;
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> HashRing::Route(std::string_view key) const {
+  return Route(key, std::vector<bool>(workers_, true));
+}
+
+}  // namespace amdmb::serve

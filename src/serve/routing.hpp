@@ -1,0 +1,51 @@
+// Consistent-hash routing of submits to worker slots.
+//
+// Submits are keyed by normalized figure slug so every request for a
+// figure lands on the same worker and that worker's exec::KernelCache
+// stays hot. The ring places `vnodes` virtual points per slot; a key
+// routes to the first point clockwise from its hash whose slot is
+// eligible. Two properties the fleet relies on:
+//
+//   * Deterministic: the mapping is a pure function of (worker count,
+//     key, eligibility mask) — identical across runs and processes.
+//   * Minimal movement: when a worker dies, only its keys move (to the
+//     next point on the ring); the other workers keep their caches.
+//
+// tt-umd's cluster-descriptor/remote-device split is the reference for
+// keeping "which worker" (routing) separate from "which request"
+// (execution); see PAPERS.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace amdmb::serve {
+
+class HashRing {
+ public:
+  /// A ring over `workers` slots with `vnodes` points per slot.
+  explicit HashRing(unsigned workers, unsigned vnodes = 16);
+
+  unsigned Workers() const { return workers_; }
+
+  /// First eligible slot clockwise from hash(key); nullopt when no slot
+  /// is eligible. `eligible` must have one entry per slot.
+  std::optional<unsigned> Route(std::string_view key,
+                                const std::vector<bool>& eligible) const;
+
+  /// Routing with every slot eligible.
+  std::optional<unsigned> Route(std::string_view key) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    unsigned slot;
+  };
+
+  unsigned workers_;
+  std::vector<Point> points_;  ///< Sorted by hash.
+};
+
+}  // namespace amdmb::serve

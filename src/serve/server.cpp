@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <future>
@@ -16,43 +17,11 @@
 #include "common/status.hpp"
 #include "common/version.hpp"
 #include "exec/kernel_cache.hpp"
+#include "fault/fault.hpp"
 #include "report/json_sink.hpp"
+#include "serve/net.hpp"
 
 namespace amdmb::serve {
-
-namespace {
-
-int MakeListenSocket(const std::string& path) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    throw ConfigError("serve: socket path too long: " + path);
-  }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw ConfigError(std::string("serve: socket() failed: ") +
-                      std::strerror(errno));
-  }
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  ::unlink(path.c_str());  // Replace a stale socket from a dead daemon.
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const int err = errno;
-    ::close(fd);
-    throw ConfigError("serve: bind(" + path +
-                      ") failed: " + std::strerror(err));
-  }
-  if (::listen(fd, 64) < 0) {
-    const int err = errno;
-    ::close(fd);
-    ::unlink(path.c_str());
-    throw ConfigError("serve: listen(" + path +
-                      ") failed: " + std::strerror(err));
-  }
-  return fd;
-}
-
-}  // namespace
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
@@ -95,7 +64,8 @@ void Server::RunSession(std::shared_ptr<Session> session) {
     try {
       request = ParseRequest(*line);
     } catch (const std::exception& e) {
-      session->WriteLine(SerializeError(0, e.what()));
+      session->WriteLine(
+          SerializeError(0, ErrorKind::kProtocolError, e.what()));
       continue;
     }
     switch (request.op) {
@@ -109,8 +79,60 @@ void Server::RunSession(std::shared_ptr<Session> session) {
         BeginDrain();
         session->WriteLine(SerializeDrained(store_.Completed()));
         break;
+      case Request::Op::kPing:
+        HandlePing(session, request);
+        break;
+      case Request::Op::kKillWorker:
+        // Only the supervisor can kill fleet members.
+        session->WriteLine(SerializeError(
+            0, ErrorKind::kProtocolError,
+            "kill_worker: this daemon does not supervise a fleet"));
+        break;
     }
   }
+  if (session->Overflowed()) {
+    // An unterminated or oversized line: answer with a typed error and
+    // drop the connection instead of buffering without limit.
+    session->WriteLine(SerializeError(
+        0, ErrorKind::kProtocolError,
+        "request line exceeds " + std::to_string(kMaxLineBytes) +
+            " bytes; closing session"));
+    session->Close();
+  }
+}
+
+void Server::HandlePing(const std::shared_ptr<Session>& session,
+                        const Request& request) {
+  if (config_.worker_index >= 0) {
+    // Seeded chaos: a worker may be scheduled to crash or hang on this
+    // very heartbeat. The key is supervisor-assigned (slot#seq), so the
+    // schedule is a pure function of the AMDMB_FAULTS seed.
+    if (const fault::FaultInjector* injector = fault::GlobalInjector()) {
+      std::string key = "w";
+      key += std::to_string(config_.worker_index);
+      key += '#';
+      key += std::to_string(request.seq);
+      if (injector->ShouldFail(fault::FaultSite::kWorkerCrash, key)) {
+        std::_Exit(3);  // Hard crash: no drain, no flush, no pong.
+      }
+      if (injector->ShouldFail(fault::FaultSite::kWorkerHang, key)) {
+        // Stop answering heartbeats forever; the supervisor must
+        // declare this worker dead and SIGKILL it.
+        for (;;) std::this_thread::sleep_for(std::chrono::hours(24));
+      }
+    }
+  }
+  PongStats pong;
+  pong.completed = store_.Completed();
+  pong.failed = store_.Failed();
+  const exec::KernelCacheStats cache = exec::KernelCache::Shared().Stats();
+  pong.cache_hits = cache.hits;
+  pong.cache_misses = cache.misses;
+  session->WriteLine(SerializePong(
+      config_.worker_index >= 0
+          ? static_cast<unsigned>(config_.worker_index)
+          : 0,
+      request.seq, pong));
 }
 
 const suite::figures::FigureDef* Server::FindFigure(
@@ -194,7 +216,8 @@ void Server::RunSweep(const std::shared_ptr<Session>& session,
     store_.RecordCompleted(def.slug, wall);
   } catch (const std::exception& e) {
     store_.RecordFailed(def.slug);
-    session->WriteLine(SerializeError(id, e.what()));
+    session->WriteLine(
+        SerializeError(id, ErrorKind::kSweepFailed, e.what()));
   }
 }
 

@@ -39,6 +39,11 @@ struct ServerConfig {
   /// Figure definitions served; null = suite::figures::Registry().
   /// Tests inject a tiny registry with controllable curves here.
   const std::vector<suite::figures::FigureDef>* registry = nullptr;
+  /// Fleet identity: >= 0 when this server is a supervised worker
+  /// process. Worker mode answers heartbeat pings with this index and
+  /// consults the fault injector's worker_crash / worker_hang sites on
+  /// each ping, so seeded kill/hang scenarios are reproducible.
+  int worker_index = -1;
 };
 
 class Server {
@@ -49,8 +54,11 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the socket (replacing a stale file), listens, and starts the
-  /// accept loop. Throws ConfigError on socket errors.
+  /// Binds the socket, listens, and starts the accept loop. A stale
+  /// socket file left by a crashed daemon is detected (connect probe
+  /// refused) and unlinked; a path owned by a *live* daemon is a typed
+  /// ConfigError, never a silent takeover. Throws ConfigError on other
+  /// socket errors too.
   void Start();
 
   /// Stops admission and blocks until every admitted sweep has
@@ -74,6 +82,8 @@ class Server {
   void RunSession(std::shared_ptr<Session> session);
   void HandleSubmit(const std::shared_ptr<Session>& session,
                     const Request& request);
+  void HandlePing(const std::shared_ptr<Session>& session,
+                  const Request& request);
   const suite::figures::FigureDef* FindFigure(const std::string& slug) const;
   void RunSweep(const std::shared_ptr<Session>& session, std::uint64_t id,
                 const suite::figures::FigureDef& def, bool quick);

@@ -1,11 +1,23 @@
 #include "serve/session.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 
 namespace amdmb::serve {
+
+namespace {
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Session::~Session() {
   Close();
@@ -13,13 +25,35 @@ Session::~Session() {
 }
 
 std::optional<std::string> Session::ReadLine() {
+  std::string line;
+  if (ReadLine(&line, /*timeout_ms=*/-1) == ReadStatus::kLine) return line;
+  return std::nullopt;
+}
+
+ReadStatus Session::ReadLine(std::string* line, int timeout_ms) {
+  if (overflowed_) return ReadStatus::kClosed;
+  const std::int64_t deadline =
+      timeout_ms >= 0 ? NowMs() + timeout_ms : 0;
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
-      std::string line = buffer_.substr(0, newline);
+      *line = buffer_.substr(0, newline);
       buffer_.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return line;
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return ReadStatus::kLine;
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      overflowed_ = true;  // Unterminated line beyond the bound.
+      return ReadStatus::kClosed;
+    }
+    if (timeout_ms >= 0) {
+      const std::int64_t remaining = deadline - NowMs();
+      if (remaining <= 0) return ReadStatus::kTimeout;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready == 0) return ReadStatus::kTimeout;
+      if (ready < 0) return ReadStatus::kClosed;
     }
     char chunk[4096];
     const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -28,7 +62,7 @@ std::optional<std::string> Session::ReadLine() {
       continue;
     }
     if (got < 0 && errno == EINTR) continue;
-    return std::nullopt;  // EOF or error: the client is gone.
+    return ReadStatus::kClosed;  // EOF or error: the peer is gone.
   }
 }
 

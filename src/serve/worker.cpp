@@ -1,0 +1,75 @@
+#include "serve/worker.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/status.hpp"
+#include "serve/server.hpp"
+
+namespace amdmb::serve {
+
+namespace {
+
+volatile std::sig_atomic_t g_worker_term = 0;
+
+void OnWorkerTerm(int) { g_worker_term = 1; }
+
+}  // namespace
+
+std::string WorkerSocketPath(const std::string& base, unsigned index) {
+  return base + ".w" + std::to_string(index);
+}
+
+void RunWorkerMain(const WorkerConfig& config) {
+  // SIGTERM is the supervisor's drain order. SIGINT is ignored so a ^C
+  // aimed at the process group reaches the supervisor first and shutdown
+  // stays ordered (drain workers, then reap).
+  std::signal(SIGTERM, OnWorkerTerm);
+  std::signal(SIGINT, SIG_IGN);
+  try {
+    ServerConfig server;
+    server.socket_path = config.socket_path;
+    server.max_queue = config.max_queue;
+    server.max_inflight = config.max_inflight;
+    server.registry = config.registry;
+    server.worker_index = static_cast<int>(config.index);
+    Server daemon(std::move(server));
+    daemon.Start();
+    while (g_worker_term == 0 && !daemon.DrainRequested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    daemon.Drain();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amdmb worker %u: %s\n", config.index, e.what());
+    std::_Exit(2);
+  }
+  // _Exit, not exit: the forked child must not run the parent's atexit
+  // handlers or flush streams it shares with the supervisor.
+  std::_Exit(0);
+}
+
+pid_t SpawnWorker(const WorkerConfig& config,
+                  const std::vector<int>& close_in_child) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw TransientError(std::string("serve: fork() failed: ") +
+                         std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Inherited copies of the supervisor's listener / session / control
+    // fds would keep those sockets alive after the parent closes them;
+    // drop them before serving anything.
+    for (const int fd : close_in_child) ::close(fd);
+    RunWorkerMain(config);  // Never returns.
+  }
+  return pid;
+}
+
+}  // namespace amdmb::serve

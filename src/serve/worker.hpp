@@ -1,0 +1,48 @@
+// One supervised worker process of the benchmark fleet.
+//
+// A worker is a plain serve::Server in its own process: forked (not
+// exec'd) from the supervisor so it inherits the in-process figure
+// registry — including test-injected ones — yet owns a private
+// exec::KernelCache, scheduler, and result store. Crashing or hanging a
+// worker therefore loses only that worker's in-flight sweeps, never the
+// fleet. Each worker listens on `<base>.w<index>` and identifies itself
+// through ServerConfig::worker_index, which also arms the seeded
+// worker_crash / worker_hang fault sites on its heartbeat path.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "suite/figures.hpp"
+
+namespace amdmb::serve {
+
+struct WorkerConfig {
+  unsigned index = 0;
+  std::string socket_path;  ///< `<supervisor socket>.w<index>`.
+  std::size_t max_queue = 16;
+  unsigned max_inflight = 1;
+  /// Null = suite registry; the supervisor forwards its own pointer so
+  /// forked workers serve exactly the figures the parent was built with.
+  const std::vector<suite::figures::FigureDef>* registry = nullptr;
+};
+
+/// Socket path for worker `index` under a supervisor bound to `base`.
+std::string WorkerSocketPath(const std::string& base, unsigned index);
+
+/// Runs a worker to completion in the current process: serve until
+/// SIGTERM, drain, then _exit(0). Never returns; exits with a nonzero
+/// status if the server cannot start.
+[[noreturn]] void RunWorkerMain(const WorkerConfig& config);
+
+/// Forks a worker process running RunWorkerMain. The child first closes
+/// every fd in `close_in_child` (the parent's listener, sessions, and
+/// control connections — a forked copy of those would keep peers from
+/// seeing EOF). Returns the child pid; throws TransientError if fork
+/// fails.
+pid_t SpawnWorker(const WorkerConfig& config,
+                  const std::vector<int>& close_in_child);
+
+}  // namespace amdmb::serve

@@ -200,5 +200,57 @@ TEST(EnvTest, ServeInflightRejectsMalformedValuesNamingTheVariable) {
   }
 }
 
+TEST(EnvTest, FleetKnobsParse) {
+  const env::Options o = FakeEnv({{"AMDMB_WORKERS", "3"},
+                                  {"AMDMB_DEADLINE_MS", "1500"},
+                                  {"AMDMB_HEARTBEAT_MS", "50"}})
+                             .Parse();
+  EXPECT_EQ(o.workers, 3u);
+  EXPECT_EQ(o.deadline_ms, 1500u);
+  EXPECT_EQ(o.heartbeat_ms, 50u);
+}
+
+TEST(EnvTest, FleetKnobsDefaultWhenUnset) {
+  const env::Options o = FakeEnv({}).Parse();
+  EXPECT_EQ(o.workers, 0u);  // Single-process daemon by default.
+  EXPECT_EQ(o.deadline_ms, 0u);  // No per-request deadline.
+  EXPECT_EQ(o.heartbeat_ms, 250u);
+  EXPECT_EQ(env::ParseWorkerCount("0"), 0u);
+  EXPECT_EQ(env::ParseWorkerCount("32"), 32u);
+  EXPECT_EQ(env::ParseDeadlineMs("0"), 0u);
+  EXPECT_EQ(env::ParseHeartbeatMs("10"), 10u);
+  EXPECT_EQ(env::ParseHeartbeatMs("60000"), 60000u);
+}
+
+TEST(EnvTest, FleetKnobsRejectMalformedValuesNamingTheVariable) {
+  for (const char* bad : {"abc", "-1", "33", "2x", "1.5"}) {
+    try {
+      FakeEnv({{"AMDMB_WORKERS", bad}}).Parse();
+      FAIL() << "expected ConfigError for '" << bad << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("AMDMB_WORKERS"),
+                std::string::npos);
+    }
+  }
+  for (const char* bad : {"abc", "-5", "9x", "0.5"}) {
+    try {
+      FakeEnv({{"AMDMB_DEADLINE_MS", bad}}).Parse();
+      FAIL() << "expected ConfigError for '" << bad << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("AMDMB_DEADLINE_MS"),
+                std::string::npos);
+    }
+  }
+  for (const char* bad : {"abc", "0", "9", "60001", "-1", "5x"}) {
+    try {
+      FakeEnv({{"AMDMB_HEARTBEAT_MS", bad}}).Parse();
+      FAIL() << "expected ConfigError for '" << bad << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("AMDMB_HEARTBEAT_MS"),
+                std::string::npos);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace amdmb

@@ -11,13 +11,17 @@
 //   drain
 //       Asks the daemon to finish admitted sweeps and shut down.
 //   bench --requests N --concurrency K --seed S [--full]
-//         [--figures a,b,c]
+//         [--figures a,b,c] [--kill-worker N]
 //       Deterministic closed-loop load generator: the request schedule
 //       is a pure function of the seed. Reports throughput and tail
-//       latency.
+//       latency. --kill-worker N injects N seeded worker kills during
+//       the run (fleet daemons only) and reports availability plus the
+//       typed worker_lost / deadline_exceeded failure counts.
 //
 // Every verb accepts --socket PATH (default: AMDMB_SERVE_SOCKET, then
-// /tmp/amdmb_serve.sock). --version prints the build's git describe.
+// /tmp/amdmb_serve.sock) and --connect-retries R (capped-backoff
+// re-attempts when nothing listens yet; default fail-fast). --version
+// prints the build's git describe.
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -42,8 +46,8 @@ int Usage(const char* argv0) {
       << "  stats\n"
       << "  drain\n"
       << "  bench [--requests N] [--concurrency K] [--seed S] [--full]\n"
-      << "        [--figures a,b,c]\n"
-      << "common options: --socket PATH, --version\n";
+      << "        [--figures a,b,c] [--kill-worker N]\n"
+      << "common options: --socket PATH, --connect-retries R, --version\n";
   return 2;
 }
 
@@ -122,6 +126,11 @@ int RunStats(serve::Client& client) {
               << FormatDouble(l.p90_seconds, 3) << " s, p99 "
               << FormatDouble(l.p99_seconds, 3) << " s\n";
   }
+  for (const serve::WorkerStatus& w : stats.workers) {
+    std::cout << "  worker " << w.index << ": " << w.state << ", pid "
+              << w.pid << ", restarts " << w.restarts << ", outstanding "
+              << w.outstanding << ", generation " << w.generation << "\n";
+  }
   return 0;
 }
 
@@ -162,6 +171,12 @@ int main(int argc, char** argv) {
         load.seed = ParseCount("--seed", argv[++i]);
       } else if (arg == "--figures" && i + 1 < argc) {
         load.figures = SplitCommaList(argv[++i]);
+      } else if (arg == "--connect-retries" && i + 1 < argc) {
+        load.connect_retries = static_cast<unsigned>(
+            ParseCount("--connect-retries", argv[++i]));
+      } else if (arg == "--kill-worker" && i + 1 < argc) {
+        load.kill_workers = static_cast<unsigned>(
+            ParseCount("--kill-worker", argv[++i]));
       } else if (!arg.empty() && arg[0] == '-') {
         return Usage(argv[0]);
       } else if (verb.empty()) {
@@ -178,10 +193,13 @@ int main(int argc, char** argv) {
       load.socket_path = socket_path;
       const serve::LoadGenReport report = serve::RunLoadGenerator(load);
       std::cout << report.Render();
+      // A chaos run expects typed failures; plain runs fail on any.
+      if (load.kill_workers > 0) return 0;
       return report.failed == 0 ? 0 : 1;
     }
 
-    serve::Client client = serve::Client::Connect(socket_path);
+    serve::Client client =
+        serve::Client::Connect(socket_path, load.connect_retries);
     if (verb == "submit") {
       if (figure.empty()) return Usage(argv[0]);
       return RunSubmit(client, figure, quick, priority, quiet);

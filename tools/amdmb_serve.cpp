@@ -9,11 +9,20 @@
 // byte-identical to the standalone bench binary's BENCH_<slug>.json.
 //
 // Usage:
-//   amdmb_serve [--socket PATH] [--queue N] [--inflight K] [--version]
+//   amdmb_serve [--socket PATH] [--queue N] [--inflight K] [--workers W]
+//               [--deadline-ms D] [--heartbeat-ms H] [--version]
 //
 // Flags override the environment (AMDMB_SERVE_SOCKET, AMDMB_SERVE_QUEUE,
-// AMDMB_SERVE_INFLIGHT). Sweep knobs (AMDMB_THREADS, AMDMB_FAULTS,
+// AMDMB_SERVE_INFLIGHT, AMDMB_WORKERS, AMDMB_DEADLINE_MS,
+// AMDMB_HEARTBEAT_MS). Sweep knobs (AMDMB_THREADS, AMDMB_FAULTS,
 // AMDMB_RETRY, ...) apply daemon-wide, exactly as for a bench binary.
+//
+// With --workers >= 1 the daemon runs as a supervised fleet: W forked
+// worker processes (each with a private kernel cache) behind a
+// supervisor that routes by figure slug, health-checks every worker,
+// restarts crashed or hung ones, and fails requests over (see
+// src/serve/supervisor.hpp). --workers 0 (default) is the classic
+// single-process daemon.
 //
 // Shutdown contract: SIGTERM or SIGINT stops admission (later submits
 // get "rejected"/"draining"), finishes every in-flight and queued
@@ -30,6 +39,7 @@
 #include "common/status.hpp"
 #include "common/version.hpp"
 #include "serve/server.hpp"
+#include "serve/supervisor.hpp"
 
 namespace {
 
@@ -43,8 +53,26 @@ extern "C" void RecordDrainSignal(int signal_number) {
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--socket PATH] [--queue N] [--inflight K] [--version]\n";
+            << " [--socket PATH] [--queue N] [--inflight K] [--workers W]"
+               " [--deadline-ms D] [--heartbeat-ms H] [--version]\n";
   return 2;
+}
+
+/// Shared signal-or-client-drain loop for both daemon flavors.
+template <typename Daemon>
+int ServeUntilDrained(Daemon& daemon, const std::string& banner) {
+  std::signal(SIGTERM, RecordDrainSignal);
+  std::signal(SIGINT, RecordDrainSignal);
+  std::cout << banner << std::endl;
+  while (g_drain_signal == 0 && !daemon.DrainRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "amdmb_serve: draining ("
+            << (g_drain_signal != 0 ? "signal" : "client request")
+            << ") — finishing admitted sweeps" << std::endl;
+  daemon.Drain();
+  std::cout << "amdmb_serve: drained, exiting" << std::endl;
+  return 0;
 }
 
 }  // namespace
@@ -58,6 +86,9 @@ int main(int argc, char** argv) {
         std::string(env::kDefaultServeSocket));
     config.max_queue = env_options.serve_queue;
     config.max_inflight = env_options.serve_inflight;
+    unsigned workers = env_options.workers;
+    std::uint64_t deadline_ms = env_options.deadline_ms;
+    std::uint64_t heartbeat_ms = env_options.heartbeat_ms;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--version") == 0) {
         std::cout << "amdmb_serve " << SuiteVersion() << "\n";
@@ -68,29 +99,46 @@ int main(int argc, char** argv) {
         config.max_queue = env::ParseServeQueue(argv[++i]);
       } else if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
         config.max_inflight = env::ParseServeInflight(argv[++i]);
+      } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+        workers = env::ParseWorkerCount(argv[++i]);
+      } else if (std::strcmp(argv[i], "--deadline-ms") == 0 &&
+                 i + 1 < argc) {
+        deadline_ms = env::ParseDeadlineMs(argv[++i]);
+      } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0 &&
+                 i + 1 < argc) {
+        heartbeat_ms = env::ParseHeartbeatMs(argv[++i]);
       } else {
         return Usage(argv[0]);
       }
     }
 
+    if (workers >= 1) {
+      serve::SupervisorConfig fleet;
+      fleet.socket_path = config.socket_path;
+      fleet.workers = workers;
+      fleet.worker_queue = config.max_queue;
+      fleet.worker_inflight = config.max_inflight;
+      fleet.deadline_ms = deadline_ms;
+      fleet.health.heartbeat_ms = heartbeat_ms;
+      serve::Supervisor supervisor(fleet);
+      supervisor.Start();
+      return ServeUntilDrained(
+          supervisor,
+          "amdmb_serve " + std::string(SuiteVersion()) + " supervising " +
+              std::to_string(workers) + " worker(s) on " +
+              supervisor.SocketPath() + " (per-worker queue " +
+              std::to_string(config.max_queue) + ", inflight " +
+              std::to_string(config.max_inflight) + ", heartbeat " +
+              std::to_string(heartbeat_ms) + " ms)");
+    }
+
     serve::Server server(config);
     server.Start();
-    std::signal(SIGTERM, RecordDrainSignal);
-    std::signal(SIGINT, RecordDrainSignal);
-    std::cout << "amdmb_serve " << SuiteVersion() << " listening on "
-              << server.SocketPath() << " (queue " << config.max_queue
-              << ", inflight " << config.max_inflight << ")" << std::endl;
-
-    // Drain on the first signal or on a client's drain request.
-    while (g_drain_signal == 0 && !server.DrainRequested()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
-    std::cout << "amdmb_serve: draining ("
-              << (g_drain_signal != 0 ? "signal" : "client request")
-              << ") — finishing admitted sweeps" << std::endl;
-    server.Drain();
-    std::cout << "amdmb_serve: drained, exiting" << std::endl;
-    return 0;
+    return ServeUntilDrained(
+        server, "amdmb_serve " + std::string(SuiteVersion()) +
+                    " listening on " + server.SocketPath() + " (queue " +
+                    std::to_string(config.max_queue) + ", inflight " +
+                    std::to_string(config.max_inflight) + ")");
   } catch (const std::exception& e) {
     std::cerr << "amdmb_serve: " << e.what() << "\n";
     return 1;
