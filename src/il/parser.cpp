@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "common/status.hpp"
@@ -55,9 +56,19 @@ class LineCursor {
 
   float FloatNumber() {
     SkipSpace();
+    // std::stof throws std::invalid_argument / std::out_of_range on
+    // malformed or overflowing literals ("l(zz)", "l(1e99999)"); both
+    // must surface as the parser's typed ConfigError — kernel text is
+    // untrusted input (kerncap intake, fuzzing).
     std::size_t digits = 0;
-    const float value =
-        std::stof(std::string(text_.substr(pos_)), &digits);
+    float value = 0.0f;
+    try {
+      value = std::stof(std::string(text_.substr(pos_)), &digits);
+    } catch (const std::invalid_argument&) {
+      Fail("expected a float literal");
+    } catch (const std::out_of_range&) {
+      Fail("float literal out of range");
+    }
     pos_ += digits;
     return value;
   }

@@ -1,0 +1,47 @@
+#include "kerncap/static_analysis.hpp"
+
+#include "compiler/compiler.hpp"
+
+namespace amdmb::kerncap {
+
+std::vector<ArchStatic> AnalyzeAllArchs(const il::Kernel& kernel) {
+  std::vector<ArchStatic> statics;
+  for (const GpuArch& arch : AllArchs()) {
+    const isa::Program program = compiler::Compile(kernel, arch);
+    statics.push_back({arch, compiler::Analyze(program, arch)});
+  }
+  return statics;
+}
+
+std::string CardLabel(const GpuArch& arch) {
+  // "Radeon HD 4870" -> "4870" (same convention as CurveKey::Name).
+  std::string card = arch.card;
+  if (const auto pos = card.rfind(' '); pos != std::string::npos) {
+    card = card.substr(pos + 1);
+  }
+  return card;
+}
+
+std::vector<report::Finding> StaticFindings(const ArchStatic& s) {
+  const std::string curve = CardLabel(s.arch) + " static";
+  std::vector<report::Finding> findings;
+  const auto count = [&](const char* label, unsigned value) {
+    findings.push_back({report::FindingKind::kPlateau, curve, label,
+                        static_cast<double>(value), "", ""});
+  };
+  count("static_alu_ops", s.ska.alu_ops);
+  count("static_fetch_ops", s.ska.fetch_ops);
+  count("static_write_ops", s.ska.write_ops);
+  findings.push_back({report::FindingKind::kRatio, curve,
+                      "static_alu_fetch_ratio", s.ska.alu_fetch_ratio,
+                      "ratio", ""});
+  count("static_gpr_count", s.ska.gpr_count);
+  count("static_theoretical_wavefronts", s.ska.theoretical_wavefronts);
+  count("static_resident_wavefronts", s.ska.resident_wavefronts);
+  findings.push_back({report::FindingKind::kEvent, curve, "static_bound",
+                      std::nullopt, "",
+                      std::string(compiler::ToString(s.ska.bound))});
+  return findings;
+}
+
+}  // namespace amdmb::kerncap

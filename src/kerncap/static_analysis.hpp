@@ -1,0 +1,38 @@
+// Static characterization of a submitted kernel: the SKA-style view
+// (ALU/fetch/write counts, normalised ratio, GPR usage, occupancy from
+// the Table I register budget) computed per GPU generation by compiling
+// the kernel with src/compiler and running compiler::Analyze on the ISA.
+//
+// This is the cheap half of the kerncap split — pure compilation, no
+// simulation — and the half that runs inside the intake boundary, so an
+// un-compilable kernel is rejected before any sim time is spent.
+#pragma once
+
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "compiler/ska.hpp"
+#include "il/il.hpp"
+#include "report/record.hpp"
+
+namespace amdmb::kerncap {
+
+/// The static view of one kernel on one GPU generation.
+struct ArchStatic {
+  GpuArch arch;
+  compiler::SkaReport ska;
+};
+
+/// Compiles `kernel` for every Table I architecture (paper order) and
+/// returns one SkaReport per arch. Throws ConfigError when the compiler
+/// rejects the kernel (intake maps that to kCompileError).
+std::vector<ArchStatic> AnalyzeAllArchs(const il::Kernel& kernel);
+
+/// Card label used in finding curves and static events ("4870").
+std::string CardLabel(const GpuArch& arch);
+
+/// The static view as typed findings, attributed to the pseudo-curve
+/// "<card> static" so they never collide with measured-curve findings.
+std::vector<report::Finding> StaticFindings(const ArchStatic& s);
+
+}  // namespace amdmb::kerncap

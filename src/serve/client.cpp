@@ -18,6 +18,7 @@
 #include "common/stats.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
+#include "kerncap/intake.hpp"
 #include "serve/net.hpp"
 
 namespace amdmb::serve {
@@ -51,6 +52,55 @@ Event Client::Submit(const std::string& figure, bool quick, int priority,
   Request request;
   request.op = Request::Op::kSubmit;
   request.figure = figure;
+  request.quick = quick;
+  request.priority = priority;
+  if (!session_->WriteLine(SerializeRequest(request))) {
+    throw ConfigError("client: daemon closed the connection");
+  }
+  for (;;) {
+    Event event = NextEvent();
+    switch (event.type) {
+      case EventType::kDone:
+      case EventType::kRejected:
+      case EventType::kError:
+        return event;
+      default:
+        if (on_event) on_event(event);
+        break;
+    }
+  }
+}
+
+std::optional<Event> OversizedCharacterize(const std::string& il,
+                                           bool quick, int priority) {
+  Request request;
+  request.op = Request::Op::kCharacterize;
+  request.il = il;
+  request.quick = quick;
+  request.priority = priority;
+  // The session layer reads lines of at most kMaxLineBytes including
+  // the trailing newline; anything at or beyond the bound is dropped by
+  // the daemon with a protocol error, so synthesize the typed verdict
+  // locally instead of shipping megabytes to certain death.
+  if (SerializeRequest(request).size() + 1 <= kMaxLineBytes) {
+    return std::nullopt;
+  }
+  return ParseEvent(SerializeRejected(
+      "invalid_kernel", kerncap::ContentHash(il), "payload_too_large",
+      "serialized characterize request exceeds the " +
+          std::to_string(kMaxLineBytes) +
+          "-byte request-line bound; not sent"));
+}
+
+Event Client::Characterize(const std::string& il, bool quick, int priority,
+                           const EventCallback& on_event) {
+  if (std::optional<Event> oversized =
+          OversizedCharacterize(il, quick, priority)) {
+    return *std::move(oversized);
+  }
+  Request request;
+  request.op = Request::Op::kCharacterize;
+  request.il = il;
   request.quick = quick;
   request.priority = priority;
   if (!session_->WriteLine(SerializeRequest(request))) {

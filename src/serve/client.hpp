@@ -37,6 +37,13 @@ class Client {
   Event Submit(const std::string& figure, bool quick, int priority,
                const EventCallback& on_event = {});
 
+  /// Submits raw kernel IL for characterization; same streaming and
+  /// terminal-event contract as Submit. An oversized payload is turned
+  /// into a local rejected event without ever reaching the daemon (see
+  /// OversizedCharacterize).
+  Event Characterize(const std::string& il, bool quick, int priority,
+                     const EventCallback& on_event = {});
+
   /// One stats round-trip.
   ServeStats Stats();
 
@@ -56,6 +63,16 @@ class Client {
 
   std::unique_ptr<Session> session_;
 };
+
+/// Client-side payload guard: a characterize request whose serialized
+/// line would exceed the daemon's request-line bound (kMaxLineBytes)
+/// can never be admitted — the daemon would drop the connection with a
+/// protocol error after buffering megabytes. This returns the typed
+/// terminal event ("rejected", code "payload_too_large") such a payload
+/// deserves, or nullopt when the payload fits. Callers check it BEFORE
+/// connecting.
+std::optional<Event> OversizedCharacterize(const std::string& il,
+                                           bool quick, int priority);
 
 /// Deterministic load-generator configuration: the request sequence
 /// (figure choice and priority per request) is a pure function of

@@ -44,6 +44,22 @@ Request ParseRequest(std::string_view line) {
       throw ConfigError("request: \"priority\" must be an integer");
     }
     request.priority = static_cast<int>(priority);
+  } else if (name == "characterize") {
+    request.op = Request::Op::kCharacterize;
+    const report::JsonValue* il = doc.Find("il");
+    if (il == nullptr) {
+      throw ConfigError("request: characterize needs \"il\" kernel text");
+    }
+    request.il = il->AsString();
+    if (request.il.empty()) {
+      throw ConfigError("request: characterize \"il\" is empty");
+    }
+    request.quick = doc.BoolOr("quick", false);
+    const double priority = doc.NumberOr("priority", 0.0);
+    if (priority != static_cast<int>(priority)) {
+      throw ConfigError("request: \"priority\" must be an integer");
+    }
+    request.priority = static_cast<int>(priority);
   } else if (name == "stats") {
     request.op = Request::Op::kStats;
   } else if (name == "drain") {
@@ -82,6 +98,11 @@ std::string SerializeRequest(const Request& request) {
          << ",\"quick\":" << (request.quick ? "true" : "false")
          << ",\"priority\":" << request.priority << "}";
       break;
+    case Request::Op::kCharacterize:
+      os << "{\"op\":\"characterize\",\"il\":" << Quoted(request.il)
+         << ",\"quick\":" << (request.quick ? "true" : "false")
+         << ",\"priority\":" << request.priority << "}";
+      break;
     case Request::Op::kStats:
       os << "{\"op\":\"stats\"}";
       break;
@@ -102,6 +123,7 @@ std::string_view ToString(EventType type) {
   switch (type) {
     case EventType::kAccepted: return "accepted";
     case EventType::kRejected: return "rejected";
+    case EventType::kStatic: return "static";
     case EventType::kProgress: return "progress";
     case EventType::kPoint: return "point";
     case EventType::kProfile: return "profile";
@@ -132,10 +154,10 @@ Event ParseEvent(std::string_view line) {
   if (tag == nullptr) throw ConfigError("event: missing \"event\" tag");
   const std::string& name = tag->AsString();
   for (const EventType type :
-       {EventType::kAccepted, EventType::kRejected, EventType::kProgress,
-        EventType::kPoint, EventType::kProfile, EventType::kDone,
-        EventType::kError, EventType::kStats, EventType::kDrained,
-        EventType::kPong, EventType::kKilled}) {
+       {EventType::kAccepted, EventType::kRejected, EventType::kStatic,
+        EventType::kProgress, EventType::kPoint, EventType::kProfile,
+        EventType::kDone, EventType::kError, EventType::kStats,
+        EventType::kDrained, EventType::kPong, EventType::kKilled}) {
     if (name == ToString(type)) {
       event.type = type;
       return event;
@@ -158,6 +180,17 @@ std::string SerializeRejected(std::string_view reason,
   std::ostringstream os;
   os << "{\"event\":\"rejected\",\"reason\":" << Quoted(reason)
      << ",\"figure\":" << Quoted(figure) << "}";
+  return os.str();
+}
+
+std::string SerializeRejected(std::string_view reason,
+                              std::string_view figure,
+                              std::string_view code,
+                              std::string_view detail) {
+  std::ostringstream os;
+  os << "{\"event\":\"rejected\",\"reason\":" << Quoted(reason)
+     << ",\"figure\":" << Quoted(figure) << ",\"code\":" << Quoted(code)
+     << ",\"detail\":" << Quoted(detail) << "}";
   return os.str();
 }
 
@@ -211,6 +244,21 @@ std::string SerializeError(std::uint64_t id, ErrorKind kind,
   os << "{\"event\":\"error\",\"request\":" << id
      << ",\"kind\":" << Quoted(ToString(kind))
      << ",\"message\":" << Quoted(message) << "}";
+  return os.str();
+}
+
+std::string SerializeStatic(std::uint64_t id, const StaticReport& report) {
+  std::ostringstream os;
+  os << "{\"event\":\"static\",\"request\":" << id
+     << ",\"arch\":" << Quoted(report.arch)
+     << ",\"alu_ops\":" << report.alu_ops
+     << ",\"fetch_ops\":" << report.fetch_ops
+     << ",\"write_ops\":" << report.write_ops << ",\"alu_fetch_ratio\":"
+     << report::JsonNumber(report.alu_fetch_ratio)
+     << ",\"gpr_count\":" << report.gpr_count
+     << ",\"theoretical_wavefronts\":" << report.theoretical_wavefronts
+     << ",\"resident_wavefronts\":" << report.resident_wavefronts
+     << ",\"bound\":" << Quoted(report.bound) << "}";
   return os.str();
 }
 

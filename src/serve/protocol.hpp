@@ -3,6 +3,7 @@
 //
 // Requests are one-line JSON objects with an "op" key:
 //   {"op":"submit","figure":"fig_7","quick":true,"priority":0}
+//   {"op":"characterize","il":"il_ps_2_0\n...","quick":true,"priority":0}
 //   {"op":"stats"}
 //   {"op":"drain"}
 //   {"op":"ping","seq":12}            (heartbeat; supervisor -> worker)
@@ -11,8 +12,13 @@
 // Responses stream back as one-line JSON events tagged "event":
 //   accepted  — the submit was admitted; carries the request id.
 //   rejected  — admission refused ("overloaded" / "draining" /
-//               "unavailable") or the figure slug is unknown
-//               ("unknown_figure"); terminal.
+//               "unavailable"), the figure slug is unknown
+//               ("unknown_figure"), or a characterize kernel failed
+//               intake ("invalid_kernel", with the stable "code" from
+//               kerncap's rejection taxonomy plus a "detail" string);
+//               terminal.
+//   static    — characterize only: one architecture's static SKA
+//               analysis (ALU/fetch/GPR counts, occupancy, bound).
 //   progress  — one figure curve finished (index / count / name).
 //   point     — one measured sweep point (curve, x, y).
 //   profile   — one profiled sweep point rode the curve.
@@ -49,12 +55,20 @@ namespace amdmb::serve {
 
 /// Parsed client request.
 struct Request {
-  enum class Op { kSubmit, kStats, kDrain, kPing, kKillWorker };
+  enum class Op {
+    kSubmit,
+    kCharacterize,
+    kStats,
+    kDrain,
+    kPing,
+    kKillWorker,
+  };
 
   Op op = Op::kStats;
   std::string figure;  ///< Submit only: figure slug (any spelling).
-  bool quick = false;  ///< Submit only: smoke-scale sweep.
-  int priority = 0;    ///< Submit only: higher pops first.
+  std::string il;      ///< Characterize only: raw kernel IL text.
+  bool quick = false;  ///< Submit/characterize: smoke-scale sweep.
+  int priority = 0;    ///< Submit/characterize: higher pops first.
   std::uint64_t seq = 0;  ///< Ping only: heartbeat sequence number.
   unsigned worker = 0;    ///< KillWorker only: target worker index.
 };
@@ -70,6 +84,7 @@ std::string SerializeRequest(const Request& request);
 enum class EventType {
   kAccepted,
   kRejected,
+  kStatic,
   kProgress,
   kPoint,
   kProfile,
@@ -112,6 +127,12 @@ std::string SerializeAccepted(std::uint64_t id, std::string_view figure,
                               std::size_t queue_depth);
 std::string SerializeRejected(std::string_view reason,
                               std::string_view figure);
+/// Rejection with a typed verdict attached: "code" is a stable machine
+/// reason (kerncap's rejection taxonomy), "detail" the human message.
+std::string SerializeRejected(std::string_view reason,
+                              std::string_view figure,
+                              std::string_view code,
+                              std::string_view detail);
 std::string SerializeProgress(std::uint64_t id, std::size_t curve_index,
                               std::size_t curve_count,
                               std::string_view curve);
@@ -127,6 +148,24 @@ std::string SerializeDone(std::uint64_t id, std::string_view figure,
 std::string SerializeError(std::uint64_t id, ErrorKind kind,
                            std::string_view message);
 std::string SerializeDrained(std::uint64_t completed);
+
+/// One architecture's static kernel analysis, streamed as a "static"
+/// event before the dynamic sweep of a characterize request. Mirrors
+/// compiler::SkaReport field-for-field but keeps the wire protocol
+/// decoupled from compiler headers.
+struct StaticReport {
+  std::string arch;  ///< Card label, e.g. "4870".
+  unsigned alu_ops = 0;
+  unsigned fetch_ops = 0;
+  unsigned write_ops = 0;
+  double alu_fetch_ratio = 0.0;
+  unsigned gpr_count = 0;
+  unsigned theoretical_wavefronts = 0;
+  unsigned resident_wavefronts = 0;
+  std::string bound;  ///< compiler::ToString(StaticBound).
+};
+
+std::string SerializeStatic(std::uint64_t id, const StaticReport& report);
 
 /// Counters a worker reports with every heartbeat reply (the
 /// supervisor's cluster stats aggregate the last pong of each worker).

@@ -18,6 +18,8 @@
 #include "common/version.hpp"
 #include "exec/kernel_cache.hpp"
 #include "fault/fault.hpp"
+#include "kerncap/characterize.hpp"
+#include "kerncap/static_analysis.hpp"
 #include "report/json_sink.hpp"
 #include "serve/net.hpp"
 
@@ -71,6 +73,9 @@ void Server::RunSession(std::shared_ptr<Session> session) {
     switch (request.op) {
       case Request::Op::kSubmit:
         HandleSubmit(session, request);
+        break;
+      case Request::Op::kCharacterize:
+        HandleCharacterize(session, request);
         break;
       case Request::Op::kStats:
         session->WriteLine(SerializeStats(Stats()));
@@ -174,6 +179,51 @@ void Server::HandleSubmit(const std::shared_ptr<Session>& session,
   admitted->set_value();
 }
 
+void Server::HandleCharacterize(const std::shared_ptr<Session>& session,
+                                const Request& request) {
+  // Intake runs inline on the session thread: it is cheap (caps bound
+  // it) and the typed verdict must come back before admission, exactly
+  // like an unknown figure slug does for submit.
+  kerncap::AnalyzeResult analysis;
+  try {
+    analysis = kerncap::Analyze(request.il);
+  } catch (const std::exception& e) {
+    // Analyze never throws for malformed input; anything escaping it is
+    // an internal bug, reported as such rather than crashing the session.
+    session->WriteLine(SerializeError(0, ErrorKind::kSweepFailed, e.what()));
+    return;
+  }
+  if (!analysis.ok()) {
+    store_.RecordRejected();
+    session->WriteLine(SerializeRejected(
+        "invalid_kernel", analysis.hash,
+        kerncap::ToString(analysis.rejection->reason),
+        analysis.rejection->detail));
+    return;
+  }
+  auto prepared = std::make_shared<const kerncap::Prepared>(
+      std::move(*analysis.prepared));
+  const bool quick = request.quick;
+  auto admitted = std::make_shared<std::promise<void>>();
+  auto gate = std::make_shared<std::shared_future<void>>(
+      admitted->get_future().share());
+  const Scheduler::Ticket ticket = scheduler_.Submit(
+      request.priority,
+      [this, session, prepared, quick, gate](std::uint64_t id) {
+        gate->wait();
+        RunCharacterize(session, id, prepared, quick);
+      });
+  if (ticket.admission != Admission::kAccepted) {
+    store_.RecordRejected();
+    session->WriteLine(SerializeRejected(ToString(ticket.admission),
+                                         kerncap::Slug(*prepared)));
+    return;
+  }
+  session->WriteLine(SerializeAccepted(ticket.id, kerncap::Slug(*prepared),
+                                       ticket.queue_depth));
+  admitted->set_value();
+}
+
 void Server::RunSweep(const std::shared_ptr<Session>& session,
                       std::uint64_t id, const suite::figures::FigureDef& def,
                       bool quick) {
@@ -210,12 +260,75 @@ void Server::RunSweep(const std::shared_ptr<Session>& session,
                                       start)
             .count();
     const exec::KernelCacheStats cache = exec::KernelCache::Shared().Stats();
+    // Record before the done event: a client that reads done and
+    // immediately asks for stats must see this completion counted.
+    store_.RecordCompleted(def.slug, wall);
     session->WriteLine(SerializeDone(id, def.slug, wall, cache.hits,
                                      cache.misses,
                                      report::BenchJson(figure)));
-    store_.RecordCompleted(def.slug, wall);
   } catch (const std::exception& e) {
     store_.RecordFailed(def.slug);
+    session->WriteLine(
+        SerializeError(id, ErrorKind::kSweepFailed, e.what()));
+  }
+}
+
+void Server::RunCharacterize(
+    const std::shared_ptr<Session>& session, std::uint64_t id,
+    const std::shared_ptr<const kerncap::Prepared>& prepared, bool quick) {
+  const std::string slug = kerncap::Slug(*prepared);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    // Static verdicts stream first — the client gets the SKA view even
+    // if it disconnects before the sweep finishes.
+    for (const kerncap::ArchStatic& s : prepared->statics) {
+      StaticReport report;
+      report.arch = kerncap::CardLabel(s.arch);
+      report.alu_ops = s.ska.alu_ops;
+      report.fetch_ops = s.ska.fetch_ops;
+      report.write_ops = s.ska.write_ops;
+      report.alu_fetch_ratio = s.ska.alu_fetch_ratio;
+      report.gpr_count = s.ska.gpr_count;
+      report.theoretical_wavefronts = s.ska.theoretical_wavefronts;
+      report.resident_wavefronts = s.ska.resident_wavefronts;
+      report.bound = std::string(compiler::ToString(s.ska.bound));
+      session->WriteLine(SerializeStatic(id, report));
+    }
+    kerncap::CharacterizeOptions opts;
+    opts.quick = quick;
+    std::map<std::string, std::size_t> points_sent;
+    std::size_t profiles_sent = 0;
+    const report::Figure figure = kerncap::Characterize(
+        *prepared, opts,
+        [&](std::size_t index, std::size_t count, const std::string& curve,
+            const report::Figure& so_far) {
+          session->WriteLine(SerializeProgress(id, index, count, curve));
+          for (const report::Curve& series : so_far.set.All()) {
+            std::size_t& sent = points_sent[series.Name()];
+            const auto& points = series.Points();
+            for (; sent < points.size(); ++sent) {
+              session->WriteLine(SerializePoint(
+                  id, series.Name(), points[sent].x, points[sent].y));
+            }
+          }
+          for (; profiles_sent < so_far.profiles.size(); ++profiles_sent) {
+            const report::ProfileEntry& p = so_far.profiles[profiles_sent];
+            session->WriteLine(
+                SerializeProfile(id, p.curve, p.point, p.attributed));
+          }
+        });
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const exec::KernelCacheStats cache = exec::KernelCache::Shared().Stats();
+    // Same ordering contract as RunSweep: count first, then announce.
+    store_.RecordCompleted(slug, wall);
+    session->WriteLine(SerializeDone(id, slug, wall, cache.hits,
+                                     cache.misses,
+                                     report::BenchJson(figure)));
+  } catch (const std::exception& e) {
+    store_.RecordFailed(slug);
     session->WriteLine(
         SerializeError(id, ErrorKind::kSweepFailed, e.what()));
   }

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "kerncap/intake.hpp"
 #include "serve/protocol.hpp"
 #include "serve/result_store.hpp"
 #include "serve/scheduler.hpp"
@@ -82,11 +83,17 @@ class Server {
   void RunSession(std::shared_ptr<Session> session);
   void HandleSubmit(const std::shared_ptr<Session>& session,
                     const Request& request);
+  void HandleCharacterize(const std::shared_ptr<Session>& session,
+                          const Request& request);
   void HandlePing(const std::shared_ptr<Session>& session,
                   const Request& request);
   const suite::figures::FigureDef* FindFigure(const std::string& slug) const;
   void RunSweep(const std::shared_ptr<Session>& session, std::uint64_t id,
                 const suite::figures::FigureDef& def, bool quick);
+  void RunCharacterize(const std::shared_ptr<Session>& session,
+                       std::uint64_t id,
+                       const std::shared_ptr<const kerncap::Prepared>& prepared,
+                       bool quick);
 
   ServerConfig config_;
   Scheduler scheduler_;

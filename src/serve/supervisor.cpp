@@ -13,6 +13,7 @@
 
 #include "common/status.hpp"
 #include "common/version.hpp"
+#include "kerncap/intake.hpp"
 #include "serve/net.hpp"
 #include "serve/worker.hpp"
 
@@ -110,6 +111,9 @@ void Supervisor::RunSession(std::shared_ptr<Session> session) {
       case Request::Op::kSubmit:
         HandleSubmit(session, request);
         break;
+      case Request::Op::kCharacterize:
+        HandleCharacterize(session, request);
+        break;
       case Request::Op::kStats:
         session->WriteLine(SerializeStats(Stats()));
         break;
@@ -192,9 +196,25 @@ void Supervisor::HandleSubmit(const std::shared_ptr<Session>& session,
     session->WriteLine(SerializeRejected("unknown_figure", request.figure));
     return;
   }
-  const std::string key = suite::figures::NormalizeSlug(def->slug);
-  const std::string raw = SerializeRequest(request);
+  ForwardRequest(session, SerializeRequest(request),
+                 suite::figures::NormalizeSlug(def->slug), def->slug);
+}
 
+void Supervisor::HandleCharacterize(const std::shared_ptr<Session>& session,
+                                    const Request& request) {
+  // No supervisor-side intake: the routed worker runs the full kerncap
+  // pipeline and its typed invalid_kernel verdict forwards verbatim
+  // through the kRejected arm below. Routing by content hash keeps a
+  // resubmitted kernel on the worker whose cache already compiled it.
+  const std::string key = kerncap::ContentHash(request.il);
+  ForwardRequest(session, SerializeRequest(request), key,
+                 "kerncap_" + key);
+}
+
+void Supervisor::ForwardRequest(const std::shared_ptr<Session>& session,
+                                const std::string& raw,
+                                const std::string& key,
+                                const std::string& stat_label) {
   // Exactly-once: every path below emits one terminal event, asserted
   // here so a future refactor cannot silently double-terminate.
   bool terminal_sent = false;
@@ -222,7 +242,7 @@ void Supervisor::HandleSubmit(const std::shared_ptr<Session>& session,
     const std::optional<unsigned> target = AdmitAndRoute(key, tried, &reason);
     if (!target.has_value()) {
       store_.RecordRejected();
-      terminal(SerializeRejected(reason, def->slug));
+      terminal(SerializeRejected(reason, stat_label));
       return;
     }
     const unsigned w = *target;
@@ -245,7 +265,7 @@ void Supervisor::HandleSubmit(const std::shared_ptr<Session>& session,
         if (remaining <= 0) {
           conn->Close();  // Abandon: the worker finishes the sweep for
           release(w);     // its cache; nobody reads the result.
-          store_.RecordFailed(def->slug);
+          store_.RecordFailed(stat_label);
           terminal(SerializeError(
               worker_id, ErrorKind::kDeadlineExceeded,
               "deadline of " + std::to_string(config_.deadline_ms) +
@@ -262,7 +282,7 @@ void Supervisor::HandleSubmit(const std::shared_ptr<Session>& session,
         if (streamed) {
           // Mid-stream loss: re-running could double-report measured
           // points, so the request terminates as worker_lost.
-          store_.RecordFailed(def->slug);
+          store_.RecordFailed(stat_label);
           terminal(SerializeError(
               worker_id, ErrorKind::kWorkerLost,
               "worker " + std::to_string(w) + " died mid-stream"));
@@ -287,6 +307,7 @@ void Supervisor::HandleSubmit(const std::shared_ptr<Session>& session,
             session->WriteLine(line);
           }
           break;
+        case EventType::kStatic:
         case EventType::kProgress:
         case EventType::kPoint:
         case EventType::kProfile:
@@ -295,7 +316,7 @@ void Supervisor::HandleSubmit(const std::shared_ptr<Session>& session,
           break;
         case EventType::kDone:
           release(w);
-          store_.RecordCompleted(def->slug,
+          store_.RecordCompleted(stat_label,
                                  event.body.NumberOr("wall_seconds", 0.0));
           terminal(line);
           return;
@@ -308,7 +329,7 @@ void Supervisor::HandleSubmit(const std::shared_ptr<Session>& session,
           return;
         case EventType::kError:
           release(w);
-          store_.RecordFailed(def->slug);
+          store_.RecordFailed(stat_label);
           terminal(line);
           return;
         default:

@@ -124,6 +124,16 @@ class Supervisor {
   void RunSession(std::shared_ptr<Session> session);
   void HandleSubmit(const std::shared_ptr<Session>& session,
                     const Request& request);
+  void HandleCharacterize(const std::shared_ptr<Session>& session,
+                          const Request& request);
+  /// Shared forwarding engine of submit and characterize: routes the
+  /// raw request line to a worker by `key` on the hash ring, streams
+  /// the worker's event lines back verbatim, and enforces the deadline
+  /// / failover / exactly-once contract documented above. `stat_label`
+  /// names the request in the result store and synthesized rejections.
+  void ForwardRequest(const std::shared_ptr<Session>& session,
+                      const std::string& raw, const std::string& key,
+                      const std::string& stat_label);
   void HandleKillWorker(const std::shared_ptr<Session>& session,
                         const Request& request);
   const suite::figures::FigureDef* FindFigure(const std::string& slug) const;

@@ -12,6 +12,7 @@
 #include <cctype>
 #include <utility>
 
+#include "common/table.hpp"
 #include "suite/suite.hpp"
 
 namespace amdmb::suite::figures {
@@ -636,6 +637,173 @@ void NoteFaults(report::Figure& figure, const std::string& curve,
   for (report::Degradation& d : report::DegradationsFrom(run, curve)) {
     figure.degradations.push_back(std::move(d));
   }
+}
+
+namespace {
+
+/// The (arch, mode) combinations a cross-check family runs as. Compute
+/// mode is skipped on non-compute archs, mirroring PaperCurves.
+std::vector<CurveKey> CrossCheckCurves(const std::vector<GpuArch>& archs,
+                                       bool pixel, bool compute) {
+  std::vector<CurveKey> curves;
+  for (const GpuArch& arch : archs) {
+    if (pixel) curves.push_back({arch, ShaderMode::kPixel, DataType::kFloat});
+    if (compute && arch.supports_compute) {
+      curves.push_back({arch, ShaderMode::kCompute, DataType::kFloat});
+    }
+  }
+  return curves;
+}
+
+sim::LaunchConfig CrossCheckLaunch(ShaderMode mode, BlockShape block) {
+  sim::LaunchConfig launch;
+  launch.domain = Domain{256, 256};  // The registry's quick scale.
+  launch.mode = mode;
+  launch.block = block;
+  launch.repetitions = kPaperRepetitions;
+  launch.profile = true;
+  return launch;
+}
+
+}  // namespace
+
+std::vector<CrossCheckPoint> CrossCheckPoints() {
+  std::vector<CrossCheckPoint> points;
+  const std::vector<GpuArch> all = AllArchs();
+  const std::vector<GpuArch> ten_series = {MakeRV770(), MakeRV870()};
+
+  const auto add = [&](const std::string& figure, const CurveKey& key,
+                       const std::string& label, il::Kernel kernel,
+                       BlockShape block) {
+    points.push_back({figure, key.Name(), label, std::move(kernel), key.arch,
+                      CrossCheckLaunch(key.mode, block)});
+  };
+
+  // ALU:fetch families (Figs. 7-10): the two sweep extremes, one firmly
+  // fetch-bound and one firmly ALU-bound. Each replicates the family's
+  // spec construction in alu_fetch.cpp exactly.
+  const auto alu_fetch = [&](const std::string& figure,
+                             const std::vector<CurveKey>& curves,
+                             ReadPath read, WritePath pixel_write,
+                             BlockShape block) {
+    for (const CurveKey& key : curves) {
+      for (const double ratio : {0.25, 8.0}) {
+        GenericSpec spec;
+        spec.inputs = 16;
+        spec.outputs = 1;
+        spec.alu_ops = AluOpsForRatio(ratio, spec.inputs);
+        spec.type = key.type;
+        spec.read_path = read;
+        spec.write_path = key.mode == ShaderMode::kCompute
+                              ? WritePath::kGlobal
+                              : pixel_write;
+        spec.name = "alufetch_r" + FormatDouble(ratio, 2);
+        add(figure, key, spec.name, GenerateGeneric(spec), block);
+      }
+    }
+  };
+  alu_fetch("fig_7", CrossCheckCurves(all, true, true), ReadPath::kTexture,
+            WritePath::kStream, BlockShape{64, 1});
+  alu_fetch("fig_8", CrossCheckCurves(all, false, true), ReadPath::kTexture,
+            WritePath::kStream, BlockShape{4, 16});
+  alu_fetch("fig_9", CrossCheckCurves(all, true, false), ReadPath::kGlobal,
+            WritePath::kStream, BlockShape{64, 1});
+  alu_fetch("fig_10", CrossCheckCurves(ten_series, true, true),
+            ReadPath::kGlobal, WritePath::kGlobal, BlockShape{64, 1});
+
+  // Read-latency families (Figs. 11-12) at the paper's 16-input point;
+  // construction mirrors read_latency.cpp (alu_ops = inputs - 1).
+  const auto read_latency = [&](const std::string& figure,
+                                const std::vector<CurveKey>& curves,
+                                ReadPath read) {
+    for (const CurveKey& key : curves) {
+      GenericSpec spec;
+      spec.inputs = 16;
+      spec.outputs = 1;
+      spec.alu_ops = spec.inputs - 1;
+      spec.type = key.type;
+      spec.read_path = read;
+      spec.write_path = key.mode == ShaderMode::kCompute
+                            ? WritePath::kGlobal
+                            : WritePath::kStream;
+      spec.name = "readlat_in" + std::to_string(spec.inputs);
+      add(figure, key, spec.name, GenerateGeneric(spec), BlockShape{64, 1});
+    }
+  };
+  read_latency("fig_11", CrossCheckCurves(all, true, true),
+               ReadPath::kTexture);
+  read_latency("fig_12", CrossCheckCurves(all, true, true),
+               ReadPath::kGlobal);
+
+  // Write-latency families (Figs. 13-14) at the 8-output point;
+  // construction mirrors write_latency.cpp.
+  const auto write_latency = [&](const std::string& figure,
+                                 const std::vector<CurveKey>& curves,
+                                 WritePath pixel_write) {
+    for (const CurveKey& key : curves) {
+      GenericSpec spec;
+      spec.inputs = 8;
+      spec.outputs = 8;
+      spec.alu_ops = 16;
+      spec.type = key.type;
+      spec.read_path = ReadPath::kTexture;
+      spec.write_path = key.mode == ShaderMode::kCompute
+                            ? WritePath::kGlobal
+                            : pixel_write;
+      spec.name = "writelat_out" + std::to_string(spec.outputs);
+      add(figure, key, spec.name, GenerateGeneric(spec), BlockShape{64, 1});
+    }
+  };
+  write_latency("fig_13", CrossCheckCurves(all, true, false),
+                WritePath::kStream);
+  write_latency("fig_14", CrossCheckCurves(all, true, true),
+                WritePath::kGlobal);
+
+  // Domain-size family (Fig. 15) at the 256x256 point; construction
+  // mirrors domain_size.cpp (one kernel, per-point launch domains).
+  for (const CurveKey& key : CrossCheckCurves(all, true, true)) {
+    GenericSpec spec;
+    spec.inputs = 8;
+    spec.outputs = 1;
+    spec.alu_ops = AluOpsForRatio(10.0, spec.inputs);
+    spec.type = key.type;
+    spec.read_path = ReadPath::kTexture;
+    spec.write_path = key.mode == ShaderMode::kCompute ? WritePath::kGlobal
+                                                       : WritePath::kStream;
+    spec.name = "domain_sweep";
+    const std::string figure = key.mode == ShaderMode::kPixel ? "fig_15a"
+                                                              : "fig_15b";
+    add(figure, key, "domain_256", GenerateGeneric(spec), BlockShape{64, 1});
+  }
+
+  // Register-usage families (Figs. 16-17) at the sweep's first and a
+  // late step; construction mirrors register_usage.cpp.
+  const auto register_usage = [&](const std::string& figure,
+                                  const std::vector<CurveKey>& curves,
+                                  BlockShape block) {
+    for (const CurveKey& key : curves) {
+      for (const unsigned step : {0u, 6u}) {
+        RegisterUsageSpec spec;
+        spec.inputs = 64;
+        spec.space = 8;
+        spec.step = step;
+        spec.alu_fetch_ratio = 4.0;
+        spec.type = key.type;
+        spec.read_path = ReadPath::kTexture;
+        spec.write_path = key.mode == ShaderMode::kCompute
+                              ? WritePath::kGlobal
+                              : WritePath::kStream;
+        spec.name = "regusage_s" + std::to_string(step);
+        add(figure, key, spec.name, GenerateRegisterUsage(spec), block);
+      }
+    }
+  };
+  register_usage("fig_16", CrossCheckCurves(all, true, true),
+                 BlockShape{64, 1});
+  register_usage("fig_17", CrossCheckCurves(all, false, true),
+                 BlockShape{4, 16});
+
+  return points;
 }
 
 }  // namespace amdmb::suite::figures

@@ -19,6 +19,7 @@
 
 #include "exec/run_report.hpp"
 #include "exec/sweep_executor.hpp"
+#include "il/il.hpp"
 #include "report/record.hpp"
 #include "sim/gpu.hpp"
 
@@ -87,6 +88,25 @@ report::Figure Build(const FigureDef& def, const RunOptions& opts,
 /// record, attributed to `curve`.
 void NoteFaults(report::Figure& figure, const std::string& curve,
                 const exec::RunReport& run);
+
+/// One representative operating point of a registry figure: the exact
+/// generated kernel, architecture, and launch the figure's sweep
+/// measures there. The kerncap cross-validation test prints the
+/// kernel's IL, re-ingests it through the untrusted-input intake, and
+/// measures at this launch — the result must match the registry path
+/// bit-for-bit (KernelStats operator==), bottleneck verdict included.
+struct CrossCheckPoint {
+  std::string figure;  ///< Registry slug ("fig_7").
+  std::string curve;   ///< CurveKey name ("4870 Pixel Float").
+  std::string point;   ///< Sweep point label ("alufetch_r0.25").
+  il::Kernel kernel;
+  GpuArch arch;
+  sim::LaunchConfig config;
+};
+
+/// Quick-scale (256x256 domain) operating points covering every
+/// registry figure family across its architectures and shader modes.
+std::vector<CrossCheckPoint> CrossCheckPoints();
 
 /// Converts every profiled point of a sweep into a typed ProfileEntry
 /// on the record. A no-op when profiling was off.

@@ -1,4 +1,12 @@
-// Unit tests for src/il: opcodes, builder, verifier, printer.
+// Unit tests for src/il: opcodes, builder, verifier, printer, and the
+// malformed-kernel corpus replay through the kerncap intake.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/status.hpp"
@@ -6,6 +14,7 @@
 #include "il/il.hpp"
 #include "il/printer.hpp"
 #include "il/verifier.hpp"
+#include "kerncap/intake.hpp"
 
 namespace amdmb::il {
 namespace {
@@ -209,6 +218,44 @@ TEST(PrinterTest, ComputeKernelUsesComputeHeader) {
   EXPECT_NE(text.find("il_cs_2_0"), std::string::npos);
   EXPECT_NE(text.find("uav_load"), std::string::npos);
   EXPECT_NE(text.find("uav_store"), std::string::npos);
+}
+
+// Replays the checked-in malformed-kernel corpus (the same files the
+// fuzz harness and the kerncap-smoke CI job drive) through the intake
+// boundary. Every valid_*.il must be accepted; everything else must
+// come back as a typed rejection with a stable reason code — never an
+// exception.
+TEST(CorpusTest, EveryCorpusFileGetsATypedVerdict) {
+  namespace fs = std::filesystem;
+  const fs::path corpus = fs::path(AMDMB_TEST_DATA_DIR) / "corpus" / "il";
+  ASSERT_TRUE(fs::is_directory(corpus)) << corpus;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (entry.path().extension() == ".il") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 20u);
+  for (const fs::path& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream file(path, std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    std::ostringstream text;
+    text << file.rdbuf();
+    kerncap::AnalyzeResult result;
+    ASSERT_NO_THROW(result = kerncap::Analyze(text.str()));
+    const bool expect_ok =
+        path.filename().string().rfind("valid_", 0) == 0;
+    if (expect_ok) {
+      EXPECT_TRUE(result.ok())
+          << kerncap::ToString(result.rejection->reason) << ": "
+          << result.rejection->detail;
+    } else {
+      ASSERT_FALSE(result.ok());
+      EXPECT_FALSE(
+          std::string(kerncap::ToString(result.rejection->reason)).empty());
+      EXPECT_FALSE(result.rejection->detail.empty());
+    }
+  }
 }
 
 }  // namespace

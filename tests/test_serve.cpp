@@ -13,10 +13,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -24,6 +27,8 @@
 
 #include "common/status.hpp"
 #include "fault/fault.hpp"
+#include "kerncap/characterize.hpp"
+#include "kerncap/intake.hpp"
 #include "report/json_sink.hpp"
 #include "serve/client.hpp"
 #include "serve/health.hpp"
@@ -1599,6 +1604,242 @@ TEST(ServeFleet, SeededCrashScenarioIsDeterministicAcrossRuns) {
   EXPECT_GE(b.restarts, 1u);
   // ...and the same seed replays the identical event sequence.
   EXPECT_EQ(a.projection, b.projection);
+}
+
+// ------------------------------------------------------------ characterize
+
+// A pixel kernel that passes intake; one curve per architecture.
+constexpr char kServeIl[] =
+    "il_ps_2_0 ; serve_probe\n"
+    "; type=Float read=Texture write=Stream\n"
+    "dcl_input i0\n"
+    "dcl_output o0\n"
+    "  sample    r0, i0\n"
+    "  mov       r1, r0\n"
+    "  export    o0, r1\n"
+    "end\n";
+
+TEST(ServeProtocol, CharacterizeRequestRoundTrips) {
+  Request request;
+  request.op = Request::Op::kCharacterize;
+  request.il = kServeIl;
+  request.quick = true;
+  request.priority = 1;
+  const Request back = ParseRequest(SerializeRequest(request));
+  EXPECT_EQ(back.op, Request::Op::kCharacterize);
+  EXPECT_EQ(back.il, kServeIl);  // Newlines survive the JSON escaping.
+  EXPECT_TRUE(back.quick);
+  EXPECT_EQ(back.priority, 1);
+  // A characterize without kernel text has nothing to analyze.
+  EXPECT_THROW(ParseRequest(R"({"op":"characterize"})"), ConfigError);
+  EXPECT_THROW(ParseRequest(R"({"op":"characterize","il":""})"),
+               ConfigError);
+}
+
+TEST(ServeProtocol, StaticEventRoundTrips) {
+  StaticReport report;
+  report.arch = "4870";
+  report.alu_ops = 16;
+  report.fetch_ops = 4;
+  report.write_ops = 1;
+  report.alu_fetch_ratio = 1.0;
+  report.gpr_count = 5;
+  report.theoretical_wavefronts = 51;
+  report.resident_wavefronts = 24;
+  report.bound = "balanced";
+  const Event e = ParseEvent(SerializeStatic(7, report));
+  EXPECT_EQ(e.type, EventType::kStatic);
+  EXPECT_EQ(e.body.NumberOr("request", -1.0), 7.0);
+  EXPECT_EQ(e.body.StringOr("arch", ""), "4870");
+  EXPECT_EQ(e.body.NumberOr("alu_ops", -1.0), 16.0);
+  EXPECT_EQ(e.body.NumberOr("fetch_ops", -1.0), 4.0);
+  EXPECT_EQ(e.body.NumberOr("write_ops", -1.0), 1.0);
+  EXPECT_EQ(e.body.NumberOr("alu_fetch_ratio", -1.0), 1.0);
+  EXPECT_EQ(e.body.NumberOr("gpr_count", -1.0), 5.0);
+  EXPECT_EQ(e.body.NumberOr("theoretical_wavefronts", -1.0), 51.0);
+  EXPECT_EQ(e.body.NumberOr("resident_wavefronts", -1.0), 24.0);
+  EXPECT_EQ(e.body.StringOr("bound", ""), "balanced");
+}
+
+TEST(ServeProtocol, RejectedWithCodeRoundTrips) {
+  const Event e = ParseEvent(SerializeRejected(
+      "invalid_kernel", "abcd1234abcd1234", "parse_error",
+      "line 3: unknown mnemonic"));
+  EXPECT_EQ(e.type, EventType::kRejected);
+  EXPECT_EQ(e.body.StringOr("reason", ""), "invalid_kernel");
+  EXPECT_EQ(e.body.StringOr("figure", ""), "abcd1234abcd1234");
+  EXPECT_EQ(e.body.StringOr("code", ""), "parse_error");
+  EXPECT_EQ(e.body.StringOr("detail", ""), "line 3: unknown mnemonic");
+}
+
+TEST(ServeServer, CharacterizeEndToEndMatchesStandaloneByteForByte) {
+  TestRegistry registry;
+  registry.release->set_value();
+  ServerConfig config;
+  config.socket_path = TestSocketPath("kerncap_bytes");
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  // The standalone path: intake then characterize in this process.
+  kerncap::AnalyzeResult analysis = kerncap::Analyze(kServeIl);
+  ASSERT_TRUE(analysis.ok());
+  kerncap::CharacterizeOptions options;
+  options.quick = true;
+  const std::string expected = report::BenchJson(
+      kerncap::Characterize(*analysis.prepared, options));
+
+  Client client = Client::Connect(config.socket_path);
+  std::vector<Event> streamed;
+  const Event done = client.Characterize(
+      kServeIl, /*quick=*/true, /*priority=*/0,
+      [&](const Event& event) { streamed.push_back(event); });
+  ASSERT_EQ(done.type, EventType::kDone);
+  EXPECT_EQ(done.body.StringOr("figure", ""),
+            kerncap::Slug(*analysis.prepared));
+  EXPECT_EQ(done.body.StringOr("figure_json", ""), expected);
+
+  // Stream shape: accepted first, then one static per architecture,
+  // then the per-curve progress / point / profile events.
+  ASSERT_GE(streamed.size(), 4u);
+  EXPECT_EQ(streamed[0].type, EventType::kAccepted);
+  EXPECT_EQ(streamed[0].body.StringOr("figure", ""),
+            kerncap::Slug(*analysis.prepared));
+  std::size_t statics = 0, progress = 0, points = 0, profiles = 0;
+  for (const Event& event : streamed) {
+    if (event.type == EventType::kStatic) ++statics;
+    if (event.type == EventType::kProgress) ++progress;
+    if (event.type == EventType::kPoint) ++points;
+    if (event.type == EventType::kProfile) ++profiles;
+  }
+  const std::size_t curves =
+      kerncap::EligibleCurves(analysis.prepared->kernel).size();
+  const std::size_t domains = kerncap::SweepDomains(true).size();
+  EXPECT_EQ(statics, analysis.prepared->statics.size());
+  EXPECT_EQ(progress, curves);
+  EXPECT_EQ(points, curves * domains);
+  EXPECT_EQ(profiles, curves * domains);
+  // The statics arrive before any sweep traffic.
+  EXPECT_EQ(streamed[1].type, EventType::kStatic);
+  server.Drain();
+}
+
+TEST(ServeServer, CharacterizeRejectsMalformedKernelAndStaysServing) {
+  TestRegistry registry;
+  registry.release->set_value();
+  ServerConfig config;
+  config.socket_path = TestSocketPath("kerncap_reject");
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  Client client = Client::Connect(config.socket_path);
+  const Event rejected = client.Characterize("this is not IL\n", true, 0);
+  ASSERT_EQ(rejected.type, EventType::kRejected);
+  EXPECT_EQ(rejected.body.StringOr("reason", ""), "invalid_kernel");
+  EXPECT_EQ(rejected.body.StringOr("code", ""), "parse_error");
+  EXPECT_FALSE(rejected.body.StringOr("detail", "").empty());
+
+  // The same session keeps working: a valid kernel completes, and the
+  // daemon's counters saw both outcomes.
+  const Event done = client.Characterize(kServeIl, true, 0);
+  EXPECT_EQ(done.type, EventType::kDone);
+  const ServeStats stats = client.Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  server.Drain();
+}
+
+TEST(ServeServer, CharacterizeCorpusOverSocketGetsTypedVerdicts) {
+  namespace fs = std::filesystem;
+  TestRegistry registry;
+  registry.release->set_value();
+  ServerConfig config;
+  config.socket_path = TestSocketPath("kerncap_corpus");
+  config.registry = &registry.defs;
+  Server server(config);
+  server.Start();
+
+  const fs::path corpus = fs::path(AMDMB_TEST_DATA_DIR) / "corpus" / "il";
+  ASSERT_TRUE(fs::is_directory(corpus));
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (entry.path().extension() == ".il") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 20u);
+
+  // Every corpus kernel over one session: malformed files come back as
+  // typed rejections, valid ones characterize, and the session never
+  // wedges.
+  Client client = Client::Connect(config.socket_path);
+  std::size_t rejected = 0, completed = 0;
+  for (const fs::path& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream text;
+    text << file.rdbuf();
+    const Event terminal = client.Characterize(text.str(), true, 0);
+    const bool expect_ok =
+        path.filename().string().rfind("valid_", 0) == 0;
+    if (expect_ok) {
+      EXPECT_EQ(terminal.type, EventType::kDone);
+      ++completed;
+    } else {
+      ASSERT_EQ(terminal.type, EventType::kRejected);
+      EXPECT_EQ(terminal.body.StringOr("reason", ""), "invalid_kernel");
+      EXPECT_FALSE(terminal.body.StringOr("code", "").empty());
+      ++rejected;
+    }
+  }
+  const ServeStats stats = client.Stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, completed);
+  server.Drain();
+}
+
+TEST(ServeClient, OversizedCharacterizeIsRejectedWithoutConnecting) {
+  // No daemon anywhere: the bound check must fire before any socket
+  // work, so a 9 MiB kernel yields a typed verdict, not a connect error.
+  const std::string huge(9u << 20, 'x');
+  const std::optional<Event> verdict = OversizedCharacterize(huge, true, 0);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->type, EventType::kRejected);
+  EXPECT_EQ(verdict->body.StringOr("reason", ""), "invalid_kernel");
+  EXPECT_EQ(verdict->body.StringOr("code", ""), "payload_too_large");
+  EXPECT_NE(verdict->body.StringOr("detail", "").find("not sent"),
+            std::string::npos);
+  // A small kernel passes the bound and returns no verdict.
+  EXPECT_FALSE(OversizedCharacterize(kServeIl, true, 0).has_value());
+}
+
+TEST(ServeFleet, CharacterizeRoutesThroughWorkersByContentHash) {
+  FleetRegistry registry(TestGatePath("fleet_kerncap"));  // Gate unused.
+  SupervisorConfig config = FleetConfig("fleet_kerncap", registry, 2);
+  Supervisor supervisor(config);
+  supervisor.Start();
+  Client client = Client::Connect(config.socket_path);
+  AwaitStats(client,
+             [](const ServeStats& s) { return AllWorkersHealthy(s, 2); });
+
+  kerncap::AnalyzeResult analysis = kerncap::Analyze(kServeIl);
+  ASSERT_TRUE(analysis.ok());
+  kerncap::CharacterizeOptions options;
+  options.quick = true;
+  const std::string expected = report::BenchJson(
+      kerncap::Characterize(*analysis.prepared, options));
+
+  // The fleet answer is byte-identical to the in-process answer, and a
+  // malformed kernel's verdict forwards through the supervisor intact.
+  const Event done = client.Characterize(kServeIl, true, 0);
+  ASSERT_EQ(done.type, EventType::kDone);
+  EXPECT_EQ(done.body.StringOr("figure_json", ""), expected);
+
+  const Event rejected = client.Characterize("garbage\n", true, 0);
+  ASSERT_EQ(rejected.type, EventType::kRejected);
+  EXPECT_EQ(rejected.body.StringOr("reason", ""), "invalid_kernel");
+  EXPECT_EQ(rejected.body.StringOr("code", ""), "parse_error");
+  supervisor.Drain();
 }
 
 }  // namespace

@@ -6,6 +6,14 @@
 //       and prints the returned schema-v2 figure document (byte-
 //       identical to the bench binary's BENCH_<slug>.json) to stdout.
 //       Exit 0 done, 3 rejected (e.g. overloaded), 1 error.
+//   characterize <file|-> [--quick] [--priority N] [--quiet]
+//       Reads kernel IL text from the file (or stdin with "-") and
+//       submits it for characterization. Static per-arch analysis and
+//       sweep progress stream to stderr; the figure document prints to
+//       stdout. A payload whose request line would exceed the daemon's
+//       8 MiB bound is rejected locally (typed code payload_too_large)
+//       without connecting. Exit 0 done, 3 rejected (invalid_kernel /
+//       overloaded / ...), 1 error.
 //   stats
 //       Prints the daemon's queue/cache/latency statistics.
 //   drain
@@ -24,7 +32,9 @@
 // prints the build's git describe.
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,6 +53,7 @@ int Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " <verb> [options]\n"
       << "  submit <figure> [--quick] [--priority N] [--quiet]\n"
+      << "  characterize <file|-> [--quick] [--priority N] [--quiet]\n"
       << "  stats\n"
       << "  drain\n"
       << "  bench [--requests N] [--concurrency K] [--seed S] [--full]\n"
@@ -106,6 +117,83 @@ int RunSubmit(serve::Client& client, const std::string& figure, bool quick,
                 << final_event.body.StringOr("message", "unknown") << "\n";
       return 1;
   }
+}
+
+std::string ReadIlSource(const std::string& path) {
+  std::ostringstream text;
+  if (path == "-") {
+    text << std::cin.rdbuf();
+  } else {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) throw ConfigError("characterize: cannot open " + path);
+    text << file.rdbuf();
+  }
+  return text.str();
+}
+
+void StreamCharacterizeEvent(const serve::Event& event, bool quiet) {
+  if (quiet) return;
+  if (event.type == serve::EventType::kAccepted) {
+    std::cerr << "accepted as request "
+              << event.body.NumberOr("request", 0.0) << " (figure "
+              << event.body.StringOr("figure", "?") << ")\n";
+  } else if (event.type == serve::EventType::kStatic) {
+    std::cerr << "static " << event.body.StringOr("arch", "?") << ": alu "
+              << event.body.NumberOr("alu_ops", 0.0) << ", fetch "
+              << event.body.NumberOr("fetch_ops", 0.0) << ", gpr "
+              << event.body.NumberOr("gpr_count", 0.0) << ", wavefronts "
+              << event.body.NumberOr("resident_wavefronts", 0.0) << ", "
+              << event.body.StringOr("bound", "?") << "\n";
+  } else if (event.type == serve::EventType::kProgress) {
+    std::cerr << "curve " << (event.body.NumberOr("index", 0.0) + 1) << "/"
+              << event.body.NumberOr("count", 0.0) << ": "
+              << event.body.StringOr("curve", "?") << "\n";
+  }
+}
+
+int FinishCharacterize(const serve::Event& final_event, bool quiet) {
+  switch (final_event.type) {
+    case serve::EventType::kDone:
+      std::cout << final_event.body.StringOr("figure_json", "");
+      if (!quiet) {
+        std::cerr << "done in "
+                  << FormatDouble(
+                         final_event.body.NumberOr("wall_seconds", 0.0), 3)
+                  << " s\n";
+      }
+      return 0;
+    case serve::EventType::kRejected: {
+      std::cerr << "rejected: " << final_event.body.StringOr("reason", "?");
+      const std::string code = final_event.body.StringOr("code", "");
+      if (!code.empty()) std::cerr << " (" << code << ")";
+      const std::string detail = final_event.body.StringOr("detail", "");
+      if (!detail.empty()) std::cerr << ": " << detail;
+      std::cerr << "\n";
+      return 3;
+    }
+    default:
+      std::cerr << "error: "
+                << final_event.body.StringOr("message", "unknown") << "\n";
+      return 1;
+  }
+}
+
+int RunCharacterize(const std::string& socket_path, unsigned retries,
+                    const std::string& path, bool quick, int priority,
+                    bool quiet) {
+  const std::string il = ReadIlSource(path);
+  // The oversize verdict must come back before any connect: the daemon
+  // would only ever answer such a line with a protocol error.
+  if (std::optional<serve::Event> oversized =
+          serve::OversizedCharacterize(il, quick, priority)) {
+    return FinishCharacterize(*oversized, quiet);
+  }
+  serve::Client client = serve::Client::Connect(socket_path, retries);
+  const serve::Event final_event = client.Characterize(
+      il, quick, priority, [quiet](const serve::Event& event) {
+        StreamCharacterizeEvent(event, quiet);
+      });
+  return FinishCharacterize(final_event, quiet);
 }
 
 int RunStats(serve::Client& client) {
@@ -177,17 +265,24 @@ int main(int argc, char** argv) {
       } else if (arg == "--kill-worker" && i + 1 < argc) {
         load.kill_workers = static_cast<unsigned>(
             ParseCount("--kill-worker", argv[++i]));
-      } else if (!arg.empty() && arg[0] == '-') {
-        return Usage(argv[0]);
+      } else if (arg.size() > 1 && arg[0] == '-') {
+        return Usage(argv[0]);  // Bare "-" falls through: IL on stdin.
       } else if (verb.empty()) {
         verb = arg;
-      } else if (verb == "submit" && figure.empty()) {
-        figure = arg;
+      } else if ((verb == "submit" || verb == "characterize") &&
+                 figure.empty()) {
+        figure = arg;  // Submit: slug. Characterize: IL path or "-".
       } else {
         return Usage(argv[0]);
       }
     }
     if (verb.empty()) return Usage(argv[0]);
+
+    if (verb == "characterize") {
+      if (figure.empty()) return Usage(argv[0]);
+      return RunCharacterize(socket_path, load.connect_retries, figure,
+                             quick, priority, quiet);
+    }
 
     if (verb == "bench") {
       load.socket_path = socket_path;

@@ -1,0 +1,108 @@
+// amdmb_kerncap — standalone kernel characterization, no daemon needed.
+//
+//   amdmb_kerncap [--quick] [--version] <file|->
+//
+// Reads kernel IL text from the file (or stdin with "-"), runs the same
+// intake -> static analysis -> profiled sweep pipeline the service's
+// "characterize" op runs, and prints the schema-v2 figure document to
+// stdout — byte-identical to the "figure_json" a daemon streams for the
+// same kernel and quick flag (the kerncap-smoke CI job diffs the two).
+// The per-arch static summary goes to stderr.
+//
+// Exit codes: 0 characterized, 3 rejected (typed intake verdict on
+// stderr), 1 internal error, 2 usage.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/version.hpp"
+#include "compiler/ska.hpp"
+#include "kerncap/characterize.hpp"
+#include "kerncap/intake.hpp"
+#include "kerncap/static_analysis.hpp"
+#include "report/json_sink.hpp"
+
+namespace {
+
+using namespace amdmb;
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--quick] [--version] <file|->\n";
+  return 2;
+}
+
+std::string ReadIlSource(const std::string& path) {
+  std::ostringstream text;
+  if (path == "-") {
+    text << std::cin.rdbuf();
+  } else {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      throw ConfigError("amdmb_kerncap: cannot open " + path);
+    }
+    text << file.rdbuf();
+  }
+  return text.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bool quick = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--version") {
+        std::cout << "amdmb_kerncap " << SuiteVersion() << "\n";
+        return 0;
+      } else if (arg == "--quick") {
+        quick = true;
+      } else if (arg.size() > 1 && arg[0] == '-') {
+        return Usage(argv[0]);  // Bare "-" falls through: IL on stdin.
+      } else if (path.empty()) {
+        path = arg;
+      } else {
+        return Usage(argv[0]);
+      }
+    }
+    if (path.empty()) return Usage(argv[0]);
+
+    const std::string il = ReadIlSource(path);
+    const kerncap::AnalyzeResult analysis = kerncap::Analyze(il);
+    if (!analysis.ok()) {
+      std::cerr << "rejected: invalid_kernel ("
+                << kerncap::ToString(analysis.rejection->reason)
+                << "): " << analysis.rejection->detail << "\n";
+      return 3;
+    }
+    const kerncap::Prepared& prepared = *analysis.prepared;
+    std::cerr << "kernel " << prepared.kernel.name << " ("
+              << prepared.hash << ")\n";
+    for (const kerncap::ArchStatic& s : prepared.statics) {
+      std::cerr << "  " << kerncap::CardLabel(s.arch) << ": alu "
+                << s.ska.alu_ops << ", fetch " << s.ska.fetch_ops
+                << ", ratio " << FormatDouble(s.ska.alu_fetch_ratio, 2)
+                << ", gpr " << s.ska.gpr_count << ", wavefronts "
+                << s.ska.resident_wavefronts << "/SIMD, "
+                << compiler::ToString(s.ska.bound) << "\n";
+    }
+
+    kerncap::CharacterizeOptions options;
+    options.quick = quick;
+    const report::Figure figure = kerncap::Characterize(
+        prepared, options,
+        [](std::size_t index, std::size_t count, const std::string& curve,
+           const report::Figure&) {
+          std::cerr << "curve " << (index + 1) << "/" << count << ": "
+                    << curve << "\n";
+        });
+    std::cout << report::BenchJson(figure);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "amdmb_kerncap: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,183 @@
+// fuzz_il_parser — fuzz target for the kerncap intake boundary.
+//
+// The one invariant under test: kerncap::Analyze() never lets an
+// exception escape, never crashes, and never hangs, whatever bytes it
+// is fed. Every malformed input must come back as a typed Rejection.
+//
+// Two build flavors:
+//   * Default: a replay binary. Each argument is a corpus file or a
+//     directory of them; every file is fed through Analyze and the
+//     verdict printed. --mutations N additionally derives N determinis-
+//     tic mutants per file (truncations, byte flips — seeded from the
+//     file bytes, no wall-clock randomness) so CI gets a bounded fuzz
+//     pass without libFuzzer. Exit 0 when nothing escaped.
+//   * -DAMDMB_FUZZER=ON (clang): links -fsanitize=fuzzer and exports
+//     LLVMFuzzerTestOneInput for coverage-guided fuzzing:
+//       ./fuzz_il_parser tests/corpus/il
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "kerncap/intake.hpp"
+
+namespace {
+
+amdmb::kerncap::IntakeLimits FuzzLimits() {
+  // Tighter than production so the size/line/instruction rejection arms
+  // are reachable from small inputs.
+  amdmb::kerncap::IntakeLimits limits;
+  limits.max_bytes = 64u << 10;
+  limits.max_lines = 512;
+  limits.max_instructions = 256;
+  return limits;
+}
+
+}  // namespace
+
+// No try/catch: an escaping exception IS the bug this target exists to
+// find, and the fuzzer (or the replay main below) reports it as a crash.
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const amdmb::kerncap::AnalyzeResult result =
+      amdmb::kerncap::Analyze(text, FuzzLimits());
+  (void)result;
+  return 0;
+}
+
+#ifndef AMDMB_FUZZER_BUILD
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+namespace {
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+/// Deterministic per-input mutator: seeded from the bytes themselves,
+/// so a corpus replay is identical on every run and every machine.
+class XorShiftMutator {
+ public:
+  explicit XorShiftMutator(const std::string& bytes) {
+    for (const char c : bytes) {
+      state_ ^= static_cast<unsigned char>(c);
+      state_ *= 6364136223846793005ull;
+      state_ += 1442695040888963407ull;
+    }
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ull;
+  }
+
+  std::uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  std::string Mutate(const std::string& base) {
+    std::string out = base;
+    switch (Next() % 4) {
+      case 0:  // Truncate.
+        if (!out.empty()) out.resize(Next() % out.size());
+        break;
+      case 1:  // Flip one byte.
+        if (!out.empty()) {
+          out[Next() % out.size()] =
+              static_cast<char>(static_cast<unsigned char>(Next()));
+        }
+        break;
+      case 2:  // Duplicate a slice onto the end.
+        if (!out.empty()) {
+          const std::size_t at = Next() % out.size();
+          out += out.substr(at, Next() % 64);
+        }
+        break;
+      default:  // Splice random bytes into the middle.
+        out.insert(out.empty() ? 0 : Next() % out.size(),
+                   std::string(1 + Next() % 8,
+                               static_cast<char>(
+                                   static_cast<unsigned char>(Next()))));
+        break;
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t state_ = 0xdeadbeefcafef00dull;
+};
+
+int RunReplay(const std::vector<std::filesystem::path>& files,
+              std::size_t mutations) {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t executed = 0;
+  for (const std::filesystem::path& path : files) {
+    const std::string bytes = ReadFile(path);
+    const amdmb::kerncap::AnalyzeResult result =
+        amdmb::kerncap::Analyze(bytes, FuzzLimits());
+    ++executed;
+    if (result.ok()) {
+      ++accepted;
+      std::cout << path.filename().string() << ": ok ("
+                << result.prepared->kernel.name << ")\n";
+    } else {
+      ++rejected;
+      std::cout << path.filename().string() << ": rejected "
+                << amdmb::kerncap::ToString(result.rejection->reason)
+                << "\n";
+    }
+    XorShiftMutator mutator(bytes);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      const std::string mutant = mutator.Mutate(bytes);
+      LLVMFuzzerTestOneInput(
+          reinterpret_cast<const std::uint8_t*>(mutant.data()),
+          mutant.size());
+      ++executed;
+    }
+  }
+  std::cout << executed << " inputs analyzed (" << accepted << " ok, "
+            << rejected << " rejected, "
+            << (executed - accepted - rejected) << " mutants), 0 escapes\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t mutations = 0;
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mutations" && i + 1 < argc) {
+      mutations = static_cast<std::size_t>(std::stoull(argv[++i]));
+      continue;
+    }
+    const std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry :
+           std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: " << argv[0]
+              << " [--mutations N] <corpus-file-or-dir>...\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  return RunReplay(files, mutations);
+}
+
+#endif  // AMDMB_FUZZER_BUILD
