@@ -227,6 +227,11 @@ inline int RunRegistryBenchMain(int argc, char** argv,
   suite::figures::RunOptions opts;
   opts.quick = QuickMode();
   opts.cancel = &InterruptToken();
+  // AMDMB_ADAPT=1 refines every curve instead of sweeping densely. The
+  // settings are process-static because the registered curve lambdas
+  // (and their copied opts) outlive this frame.
+  static const adapt::Settings adaptive_settings = adapt::Settings::FromEnv();
+  if (env::Get().adapt) opts.adaptive = &adaptive_settings;
   std::vector<std::unique_ptr<FigureSink>> owned;
   std::vector<FigureSink*> sinks;
   for (const std::string& slug : slugs) {

@@ -1,0 +1,183 @@
+#include "adapt/refiner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "common/env.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+
+namespace amdmb::adapt {
+
+Settings Settings::FromEnv() {
+  const env::Options& options = env::Get();
+  Settings settings;
+  settings.tol_steps = options.adapt_tol;
+  settings.budget = options.adapt_budget;
+  return settings;
+}
+
+double Outcome::SpendFraction() const {
+  if (dense_points == 0) return 1.0;
+  return static_cast<double>(points_spent) /
+         static_cast<double>(dense_points);
+}
+
+Refiner::Refiner(Settings settings, const exec::SweepExecutor* executor,
+                 exec::RetryPolicy retry, const exec::CancelToken* cancel)
+    : settings_(std::move(settings)),
+      executor_(executor),
+      retry_(retry),
+      cancel_(cancel) {
+  Require(settings_.tol_steps >= 1, "Refiner: tol_steps must be >= 1");
+  Require(settings_.coarse_points >= 2,
+          "Refiner: coarse_points must be >= 2");
+}
+
+Outcome Refiner::Run(std::size_t dense_count, const XOfFn& x_of,
+                     const MeasureFn& measure,
+                     exec::RunReport* report) const {
+  Outcome outcome;
+  outcome.dense_points = dense_count;
+  if (dense_count == 0) return outcome;
+
+  const exec::SweepExecutor& executor = exec::ExecutorOrDefault(executor_);
+  // labels[i] is set once index i was measured and classified; attempted
+  // marks indices that ran (successfully or not) so no index is ever
+  // measured twice and the loop terminates.
+  std::vector<std::optional<std::string>> labels(dense_count);
+  std::vector<char> attempted(dense_count, 0);
+
+  const auto run_wave = [&](std::vector<std::size_t> indices) {
+    if (settings_.budget > 0) {
+      const std::uint64_t left =
+          settings_.budget > outcome.points_spent
+              ? settings_.budget - outcome.points_spent
+              : 0;
+      if (indices.size() > left) indices.resize(left);
+    }
+    if (indices.empty()) return false;
+    exec::RunReport wave_report;
+    auto slots = executor.MapWithPolicy(
+        indices.size(),
+        [&](std::size_t k, unsigned attempt) {
+          return measure(indices[k], attempt);
+        },
+        retry_, report != nullptr ? &wave_report : nullptr, cancel_);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      attempted[indices[k]] = 1;
+      if (slots[k].has_value()) labels[indices[k]] = std::move(*slots[k]);
+    }
+    if (report != nullptr) {
+      for (exec::PointOutcome& point : wave_report.points) {
+        point.index = indices[point.index];
+        point.label = "point " + std::to_string(point.index);
+      }
+      report->points.insert(report->points.end(),
+                            std::make_move_iterator(wave_report.points.begin()),
+                            std::make_move_iterator(wave_report.points.end()));
+    }
+    outcome.points_spent += indices.size();
+    const WaveInfo info{outcome.waves, indices.size(), outcome.points_spent,
+                        dense_count};
+    ++outcome.waves;
+    if (settings_.on_wave) settings_.on_wave(info);
+    return true;
+  };
+
+  // Coarse pass: coarse_points evenly spaced indices including both
+  // endpoints (everything, for tiny grids).
+  {
+    std::vector<std::size_t> coarse;
+    if (dense_count <= settings_.coarse_points) {
+      for (std::size_t i = 0; i < dense_count; ++i) coarse.push_back(i);
+    } else {
+      for (std::size_t k = 0; k < settings_.coarse_points; ++k) {
+        coarse.push_back(k * (dense_count - 1) /
+                         (settings_.coarse_points - 1));
+      }
+      coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
+    }
+    run_wave(std::move(coarse));
+  }
+
+  // Bisection waves: for every adjacent pair of classified indices with
+  // differing labels and a gap wider than tol_steps, measure the
+  // midpoint. The next wave's composition depends only on deterministic
+  // prior labels, so the trajectory is scheduling-independent.
+  for (;;) {
+    std::vector<std::size_t> classified;
+    for (std::size_t i = 0; i < dense_count; ++i) {
+      if (labels[i].has_value()) classified.push_back(i);
+    }
+    std::vector<std::size_t> next;
+    for (std::size_t k = 1; k < classified.size(); ++k) {
+      const std::size_t lo = classified[k - 1];
+      const std::size_t hi = classified[k];
+      if (*labels[lo] == *labels[hi]) continue;
+      if (hi - lo <= settings_.tol_steps) continue;
+      const std::size_t mid = lo + (hi - lo) / 2;
+      // A midpoint that already ran and failed leaves its interval
+      // unrefined — re-measuring a deterministic failure cannot help.
+      if (!attempted[mid]) next.push_back(mid);
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    if (next.empty() || !run_wave(std::move(next))) break;
+  }
+
+  for (std::size_t i = 0; i < dense_count; ++i) {
+    if (attempted[i]) outcome.measured.push_back(i);
+    if (labels[i].has_value()) {
+      outcome.samples.push_back(Sample{x_of(i), *labels[i]});
+      outcome.sample_indices.push_back(i);
+    }
+  }
+  outcome.transitions = DetectTransitions(outcome.samples);
+  return outcome;
+}
+
+namespace {
+
+std::string LowerCopy(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<report::Finding> AdaptiveFindings(const Outcome& outcome,
+                                              const std::string& curve,
+                                              const std::string& unit) {
+  std::vector<report::Finding> findings;
+  for (const Transition& t : outcome.transitions) {
+    report::Finding finding;
+    finding.kind = report::FindingKind::kCrossover;
+    finding.curve = curve;
+    finding.label = "transition_to_" + LowerCopy(t.to);
+    finding.value = t.upper_x;
+    finding.unit = unit;
+    finding.detail = "from '" + t.from + "' in [" +
+                     FormatDouble(t.lower_x, 2) + ", " +
+                     FormatDouble(t.upper_x, 2) + "] (" +
+                     std::string(ToString(t.kind)) + ")";
+    findings.push_back(std::move(finding));
+  }
+  report::Finding spent;
+  spent.kind = report::FindingKind::kEvent;
+  spent.curve = curve;
+  spent.label = "adaptive_points";
+  spent.value = static_cast<double>(outcome.points_spent);
+  spent.unit = "points";
+  spent.detail = "of " + std::to_string(outcome.dense_points) +
+                 " dense points in " + std::to_string(outcome.waves) +
+                 " wave(s)";
+  findings.push_back(std::move(spent));
+  return findings;
+}
+
+}  // namespace amdmb::adapt

@@ -1,0 +1,78 @@
+#include "adapt/transition.hpp"
+
+#include <cmath>
+
+namespace amdmb::adapt {
+
+const char* ToString(TransitionKind kind) {
+  switch (kind) {
+    case TransitionKind::kInterior: return "interior";
+    case TransitionKind::kAtLowerBoundary: return "at_lower_boundary";
+  }
+  return "unknown";
+}
+
+std::vector<Transition> DetectTransitions(const std::vector<Sample>& samples) {
+  std::vector<Transition> transitions;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].label == samples[i - 1].label) continue;
+    Transition t;
+    t.lower_index = i - 1;
+    t.upper_index = i;
+    t.lower_x = samples[i - 1].x;
+    t.upper_x = samples[i].x;
+    t.from = samples[i - 1].label;
+    t.to = samples[i].label;
+    t.kind = TransitionKind::kInterior;
+    transitions.push_back(std::move(t));
+  }
+  return transitions;
+}
+
+std::optional<Transition> FirstTransitionTo(const std::vector<Sample>& samples,
+                                            const std::string& target) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].label != target) continue;
+    Transition t;
+    t.upper_index = i;
+    t.upper_x = samples[i].x;
+    t.to = target;
+    if (i == 0) {
+      t.lower_index = 0;
+      t.lower_x = samples[0].x;
+      t.kind = TransitionKind::kAtLowerBoundary;
+    } else {
+      t.lower_index = i - 1;
+      t.lower_x = samples[i - 1].x;
+      t.from = samples[i - 1].label;
+      t.kind = TransitionKind::kInterior;
+    }
+    return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> KneeIndex(const std::vector<double>& xs,
+                                     const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 3) return std::nullopt;
+  const double dx = xs.back() - xs.front();
+  const double dy = ys.back() - ys.front();
+  const double chord = std::sqrt(dx * dx + dy * dy);
+  if (chord == 0.0) return std::nullopt;
+  std::size_t best = 0;
+  double best_distance = 0.0;
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    // Perpendicular distance from (xs[i], ys[i]) to the chord.
+    const double distance =
+        std::abs(dy * (xs[i] - xs.front()) - dx * (ys[i] - ys.front())) /
+        chord;
+    if (distance > best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  if (best == 0) return std::nullopt;
+  return best;
+}
+
+}  // namespace amdmb::adapt

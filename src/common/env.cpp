@@ -108,6 +108,28 @@ std::uint64_t ParseHeartbeatMs(std::string_view text) {
   return n;
 }
 
+unsigned ParseAdaptTol(std::string_view text) {
+  std::uint64_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), n);
+  Require(ec == std::errc() && ptr == text.data() + text.size() && n >= 1 &&
+              n <= 64,
+          "AMDMB_ADAPT_TOL='" + std::string(text) +
+              "': must be a grid-step tolerance in [1, 64]");
+  return static_cast<unsigned>(n);
+}
+
+std::uint64_t ParseAdaptBudget(std::string_view text) {
+  std::uint64_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), n);
+  Require(ec == std::errc() && ptr == text.data() + text.size(),
+          "AMDMB_ADAPT_BUDGET='" + std::string(text) +
+              "': must be a point budget (non-negative integer; 0 = "
+              "unlimited)");
+  return n;
+}
+
 Options ParseFrom(const std::function<const char*(const char*)>& lookup) {
   Options options;
   if (const auto v = NonEmpty(lookup("AMDMB_QUICK"))) {
@@ -145,6 +167,15 @@ Options ParseFrom(const std::function<const char*(const char*)>& lookup) {
   }
   if (const auto v = NonEmpty(lookup("AMDMB_HEARTBEAT_MS"))) {
     options.heartbeat_ms = ParseHeartbeatMs(*v);
+  }
+  if (const auto v = NonEmpty(lookup("AMDMB_ADAPT"))) {
+    options.adapt = (*v)[0] != '0';
+  }
+  if (const auto v = NonEmpty(lookup("AMDMB_ADAPT_TOL"))) {
+    options.adapt_tol = ParseAdaptTol(*v);
+  }
+  if (const auto v = NonEmpty(lookup("AMDMB_ADAPT_BUDGET"))) {
+    options.adapt_budget = ParseAdaptBudget(*v);
   }
   return options;
 }

@@ -24,6 +24,12 @@
 //                         single-process daemon (no fleet).
 //   AMDMB_DEADLINE_MS     per-request deadline in ms, 0 = unlimited.
 //   AMDMB_HEARTBEAT_MS    worker heartbeat interval in ms, [10, 60000].
+//   AMDMB_ADAPT           adaptive (coarse-to-fine) sweeps in the bench
+//                         binaries ("1" on, "0"/unset off).
+//   AMDMB_ADAPT_TOL       adaptive bracket tolerance in dense grid
+//                         steps, [1, 64].
+//   AMDMB_ADAPT_BUDGET    max measured points per adaptive refinement,
+//                         non-negative integer; 0 = unlimited.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +63,9 @@ struct Options {
   unsigned workers = 0;                  ///< AMDMB_WORKERS, [0, 32].
   std::uint64_t deadline_ms = 0;         ///< AMDMB_DEADLINE_MS, 0 = off.
   std::uint64_t heartbeat_ms = 250;      ///< AMDMB_HEARTBEAT_MS.
+  bool adapt = false;                    ///< AMDMB_ADAPT.
+  unsigned adapt_tol = 2;                ///< AMDMB_ADAPT_TOL, [1, 64].
+  std::uint64_t adapt_budget = 0;        ///< AMDMB_ADAPT_BUDGET, 0 = off.
 };
 
 /// Socket path used when AMDMB_SERVE_SOCKET is unset.
@@ -94,6 +103,14 @@ std::uint64_t ParseDeadlineMs(std::string_view text);
 /// AMDMB_HEARTBEAT_MS grammar: heartbeat interval in [10, 60000] ms.
 /// Throws ConfigError.
 std::uint64_t ParseHeartbeatMs(std::string_view text);
+
+/// AMDMB_ADAPT_TOL grammar: a bracket tolerance in dense grid steps,
+/// [1, 64]. Throws ConfigError.
+unsigned ParseAdaptTol(std::string_view text);
+
+/// AMDMB_ADAPT_BUDGET grammar: a non-negative point cap per adaptive
+/// refinement (0 = unlimited). Throws ConfigError.
+std::uint64_t ParseAdaptBudget(std::string_view text);
 
 /// Pure parser behind Get(): `lookup` plays the role of getenv (returns
 /// nullptr when a variable is unset; empty strings count as unset, the

@@ -1,7 +1,9 @@
 #include "kerncap/characterize.hpp"
 
+#include <optional>
 #include <utility>
 
+#include "common/status.hpp"
 #include "report/json_sink.hpp"
 #include "sim/gpu.hpp"
 
@@ -44,36 +46,8 @@ suite::Measurement MeasureAt(const Prepared& prepared, const GpuArch& arch,
 
 namespace {
 
-void RunCurve(report::Figure& figure, const Prepared& prepared,
-              const suite::CurveKey& key,
-              const std::vector<unsigned>& domains,
-              const CharacterizeOptions& options) {
-  const std::string name = key.Name();
-  const std::vector<suite::Measurement> points =
-      exec::ExecutorOrDefault(options.executor)
-          .Map(domains.size(), [&](std::size_t i) {
-            sim::LaunchConfig launch;
-            launch.domain = Domain{domains[i], domains[i]};
-            launch.mode = key.mode;
-            launch.block = BlockShape{64, 1};
-            launch.repetitions = suite::kPaperRepetitions;
-            launch.watchdog_cycles = options.watchdog_cycles;
-            launch.profile = true;
-            return MeasureAt(prepared, key.arch, launch,
-                             "domain_" + std::to_string(domains[i]));
-          });
-  Series& series = figure.set.Get(name);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const double wavefronts =
-        static_cast<double>(domains[i]) * domains[i] /
-        key.arch.wavefront_size;
-    series.Add(wavefronts, points[i].seconds);
-  }
-  for (const suite::Measurement& m : points) {
-    figure.profiles.push_back(report::MakeProfileEntry(
-        name, *m.profile, sim::ToString(m.stats.bottleneck)));
-  }
-  const suite::Measurement& op = points.back();
+void OperatingPointFindings(report::Figure& figure, const std::string& name,
+                            const suite::Measurement& op) {
   figure.findings.push_back({report::FindingKind::kPlateau, name,
                              "operating_point_seconds", op.seconds, "s",
                              ""});
@@ -85,6 +59,87 @@ void RunCurve(report::Figure& figure, const Prepared& prepared,
       {report::FindingKind::kEvent, name, "operating_point_attributed",
        std::nullopt, "",
        std::string(sim::ToString(op.profile->attribution.bottleneck))});
+}
+
+void RunCurve(report::Figure& figure, const Prepared& prepared,
+              const suite::CurveKey& key,
+              const std::vector<unsigned>& domains,
+              const CharacterizeOptions& options) {
+  const std::string name = key.Name();
+  const auto launch_at = [&](std::size_t i) {
+    sim::LaunchConfig launch;
+    launch.domain = Domain{domains[i], domains[i]};
+    launch.mode = key.mode;
+    launch.block = BlockShape{64, 1};
+    launch.repetitions = suite::kPaperRepetitions;
+    launch.watchdog_cycles = options.watchdog_cycles;
+    launch.profile = true;
+    return launch;
+  };
+  const auto wavefronts_at = [&](std::size_t i) {
+    return static_cast<double>(domains[i]) * domains[i] /
+           key.arch.wavefront_size;
+  };
+
+  if (options.adaptive != nullptr) {
+    const suite::Runner runner(key.arch);
+    std::vector<std::optional<suite::Measurement>> slots(domains.size());
+    // Retry behaviour is pinned (not RetryPolicy::FromEnv) so the
+    // refinement trajectory matches across daemon flavors regardless of
+    // the host's AMDMB_RETRY.
+    const adapt::Refiner refiner(*options.adaptive, options.executor,
+                                 exec::RetryPolicy{});
+    exec::RunReport report;
+    const adapt::Outcome outcome = refiner.Run(
+        domains.size(), wavefronts_at,
+        [&](std::size_t i, unsigned attempt) {
+          suite::Measurement m = runner.Measure(
+              prepared.kernel, launch_at(i),
+              {"domain_" + std::to_string(domains[i]), attempt});
+          std::string label(sim::ToString(m.stats.bottleneck));
+          slots[i] = std::move(m);
+          return label;
+        },
+        &report);
+    for (exec::PointOutcome& point : report.points) {
+      point.label = "domain_" + std::to_string(domains[point.index]);
+    }
+    Series& series = figure.set.Get(name);
+    for (const std::size_t i : outcome.measured) {
+      if (!slots[i].has_value()) continue;
+      series.Add(wavefronts_at(i), slots[i]->seconds);
+      figure.profiles.push_back(report::MakeProfileEntry(
+          name, *slots[i]->profile,
+          sim::ToString(slots[i]->stats.bottleneck)));
+    }
+    for (report::Degradation& d : report::DegradationsFrom(report, name)) {
+      figure.degradations.push_back(std::move(d));
+    }
+    Require(slots.back().has_value(),
+            "kerncap adaptive: operating point failed");
+    OperatingPointFindings(figure, name, *slots.back());
+    for (report::Finding& f :
+         adapt::AdaptiveFindings(outcome, name, "wavefronts")) {
+      figure.findings.push_back(std::move(f));
+    }
+    return;
+  }
+
+  const std::vector<suite::Measurement> points =
+      exec::ExecutorOrDefault(options.executor)
+          .Map(domains.size(), [&](std::size_t i) {
+            return MeasureAt(prepared, key.arch, launch_at(i),
+                             "domain_" + std::to_string(domains[i]));
+          });
+  Series& series = figure.set.Get(name);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    series.Add(wavefronts_at(i), points[i].seconds);
+  }
+  for (const suite::Measurement& m : points) {
+    figure.profiles.push_back(report::MakeProfileEntry(
+        name, *m.profile, sim::ToString(m.stats.bottleneck)));
+  }
+  OperatingPointFindings(figure, name, points.back());
 }
 
 }  // namespace
@@ -117,6 +172,7 @@ report::Figure Characterize(const Prepared& prepared,
   // any executor width (exec::SweepExecutor::Map's ordering guarantee).
   figure.meta.threads = 1;
   figure.meta.watchdog_cycles = options.watchdog_cycles;
+  figure.meta.adaptive = options.adaptive != nullptr;
   return figure;
 }
 

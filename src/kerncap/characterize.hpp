@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/refiner.hpp"
 #include "exec/sweep_executor.hpp"
 #include "kerncap/intake.hpp"
 #include "report/record.hpp"
@@ -40,6 +41,12 @@ struct CharacterizeOptions {
   /// Sweep points run through this executor (null = process default).
   /// Results are bit-identical at any width.
   const exec::SweepExecutor* executor = nullptr;
+  /// Non-null refines the domain ladder adaptively (adapt::Refiner)
+  /// instead of measuring every rung. The operating point (the last
+  /// rung) is always in the coarse pass, so the bottleneck verdict is
+  /// still taken at the same launch. Retry behaviour stays pinned to
+  /// the analysis default, not AMDMB_RETRY, like the other env fields.
+  const adapt::Settings* adaptive = nullptr;
 };
 
 /// Square-domain ladder swept per curve; the last entry is the

@@ -26,6 +26,16 @@ std::filesystem::path WriteGnuplot(const SeriesSet& set,
 std::string GnuplotScript(const SeriesSet& set, const std::string& dat_file,
                           const std::string& output_file);
 
+/// Writes a 2D frontier map as `<stem>_frontier.dat` (x y code rows,
+/// one blank line per grid row; the label-to-code legend rides in
+/// comments) plus the pm3d heatmap script `<stem>_frontier.gp`, and
+/// returns the script path. Codes are assigned to labels in sorted
+/// order, so the emission is deterministic. Throws ConfigError on I/O
+/// failure.
+std::filesystem::path WriteFrontierGnuplot(
+    const report::Frontier& frontier, const std::filesystem::path& directory,
+    const std::string& stem);
+
 namespace report {
 
 class GnuplotSink : public FileSink {
@@ -36,8 +46,13 @@ class GnuplotSink : public FileSink {
 
   void Write(const Figure& figure) override {
     written_.clear();
-    if (figure.set.All().empty()) return;
-    written_.push_back(WriteGnuplot(figure.set, directory_, figure.Slug()));
+    if (!figure.set.All().empty()) {
+      written_.push_back(WriteGnuplot(figure.set, directory_, figure.Slug()));
+    }
+    if (figure.frontier.has_value()) {
+      written_.push_back(
+          WriteFrontierGnuplot(*figure.frontier, directory_, figure.Slug()));
+    }
   }
 };
 

@@ -40,6 +40,9 @@ void EmitMeta(std::ostringstream& os, const RunMeta& meta) {
   os << "    \"faults\": \"" << JsonEscape(meta.faults) << "\",\n";
   os << "    \"retry\": \"" << JsonEscape(meta.retry) << "\",\n";
   os << "    \"watchdog_cycles\": " << meta.watchdog_cycles << ",\n";
+  // Additive: only adaptive runs carry the key, so dense documents stay
+  // byte-identical to pre-adapt writers.
+  if (meta.adaptive) os << "    \"adaptive\": true,\n";
   os << "    \"archs\": ";
   EmitStringArray(os, meta.archs);
   os << ",\n";
@@ -90,6 +93,37 @@ void EmitProfiles(std::ostringstream& os,
     os << "\"counters\": " << prof::CounterSetJson(p.counters) << "}";
   }
   os << "\n  ],\n";
+}
+
+/// The additive "frontier" block for 2D classification-map figures;
+/// 1D documents never carry the key.
+void EmitFrontier(std::ostringstream& os, const Frontier& frontier) {
+  os << "  \"frontier\": {\n";
+  os << "    \"x_label\": \"" << JsonEscape(frontier.x_label) << "\",\n";
+  os << "    \"y_label\": \"" << JsonEscape(frontier.y_label) << "\",\n";
+  const auto emit_numbers = [&os](const std::vector<double>& values) {
+    os << "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) os << ", ";
+      os << JsonNumber(values[i]);
+    }
+    os << "]";
+  };
+  os << "    \"xs\": ";
+  emit_numbers(frontier.xs);
+  os << ",\n    \"ys\": ";
+  emit_numbers(frontier.ys);
+  os << ",\n    \"cells\": ";
+  EmitStringArray(os, frontier.cells);
+  os << ",\n    \"measured\": [";
+  for (std::size_t i = 0; i < frontier.measured.size(); ++i) {
+    if (i) os << ", ";
+    os << (frontier.measured[i] ? "true" : "false");
+  }
+  os << "],\n";
+  os << "    \"points_measured\": " << frontier.points_measured << ",\n";
+  os << "    \"points_dense\": " << frontier.points_dense << "\n";
+  os << "  },\n";
 }
 
 void EmitDegradations(std::ostringstream& os,
@@ -154,6 +188,9 @@ std::string BenchJson(const Figure& figure) {
   }
   if (!figure.profiles.empty()) {
     EmitProfiles(os, figure.profiles);
+  }
+  if (figure.frontier.has_value()) {
+    EmitFrontier(os, *figure.frontier);
   }
   os << "  \"curves\": [\n";
   const auto& all = figure.set.All();

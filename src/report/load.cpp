@@ -33,6 +33,7 @@ RunMeta MetaFrom(const JsonValue& doc) {
   meta.retry = m->StringOr("retry", "");
   meta.watchdog_cycles =
       static_cast<std::uint64_t>(m->NumberOr("watchdog_cycles", 0.0));
+  meta.adaptive = m->BoolOr("adaptive", false);
   meta.archs = StringList(m->Find("archs"));
   meta.modes = StringList(m->Find("modes"));
   return meta;
@@ -100,6 +101,31 @@ std::vector<ProfileEntry> ProfilesFrom(const JsonValue& doc) {
   return out;
 }
 
+std::optional<Frontier> FrontierFrom(const JsonValue& doc) {
+  const JsonValue* f = doc.Find("frontier");
+  if (f == nullptr) return std::nullopt;
+  Frontier frontier;
+  frontier.x_label = f->StringOr("x_label", "");
+  frontier.y_label = f->StringOr("y_label", "");
+  if (const JsonValue* xs = f->Find("xs")) {
+    for (const JsonValue& v : xs->AsArray()) frontier.xs.push_back(v.AsNumber());
+  }
+  if (const JsonValue* ys = f->Find("ys")) {
+    for (const JsonValue& v : ys->AsArray()) frontier.ys.push_back(v.AsNumber());
+  }
+  frontier.cells = StringList(f->Find("cells"));
+  if (const JsonValue* measured = f->Find("measured")) {
+    for (const JsonValue& v : measured->AsArray()) {
+      frontier.measured.push_back(v.AsBool());
+    }
+  }
+  frontier.points_measured =
+      static_cast<std::uint64_t>(f->NumberOr("points_measured", 0.0));
+  frontier.points_dense =
+      static_cast<std::uint64_t>(f->NumberOr("points_dense", 0.0));
+  return frontier;
+}
+
 std::vector<LoadedCurve> CurvesFrom(const JsonValue& doc) {
   std::vector<LoadedCurve> out;
   const JsonValue* list = doc.Find("curves");
@@ -162,6 +188,7 @@ LoadedFigure LoadFigureJson(std::string_view text,
   figure.findings = FindingsFrom(doc);
   figure.degradations = DegradationsFrom(doc);
   figure.profiles = ProfilesFrom(doc);
+  figure.frontier = FrontierFrom(doc);
   figure.curves = CurvesFrom(doc);
   return figure;
 }

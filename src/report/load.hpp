@@ -40,6 +40,8 @@ struct LoadedFigure {
   std::vector<Degradation> degradations;
   /// The additive "profile" block; empty for unprofiled documents.
   std::vector<ProfileEntry> profiles;
+  /// The additive "frontier" block; absent for 1D documents.
+  std::optional<Frontier> frontier;
   std::vector<LoadedCurve> curves;
 
   /// Filesystem-safe stem derived from the id; see FigureSlug.

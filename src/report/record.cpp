@@ -125,6 +125,7 @@ RunMeta CollectRunMeta() {
   meta.faults = options.faults.value_or("");
   meta.retry = options.retry.value_or("");
   meta.watchdog_cycles = options.watchdog_cycles;
+  meta.adaptive = options.adapt;
   return meta;
 }
 

@@ -140,6 +140,7 @@ struct RunMeta {
   std::string faults;             ///< Raw AMDMB_FAULTS spec ("" = none).
   std::string retry;              ///< Raw AMDMB_RETRY spec ("" = default).
   std::uint64_t watchdog_cycles = 0;
+  bool adaptive = false;           ///< Curves came from adaptive refinement.
   std::vector<std::string> archs;  ///< GPU generations in the figure.
   std::vector<std::string> modes;  ///< Shader modes in the figure.
 };
@@ -147,6 +148,26 @@ struct RunMeta {
 /// Meta snapshot of this process: env knobs plus the build's git
 /// describe. archs/modes are filled per figure by FinalizeMeta.
 RunMeta CollectRunMeta();
+
+/// A 2D classification map (e.g. bottleneck over ALU:Fetch ratio ×
+/// register-ladder step), the artifact of adaptive quadrant
+/// refinement. Cells are labels on the xs × ys grid, row-major with y
+/// outermost (`cells[iy * xs.size() + ix]`); `measured` marks which
+/// nodes were actually simulated — the rest were filled from uniform
+/// enclosing quadrants. Emitted as the schema-additive "frontier"
+/// block of BENCH JSON; absent for 1D figures.
+struct Frontier {
+  std::string x_label;
+  std::string y_label;
+  std::vector<double> xs;  ///< Grid node coordinates, ascending.
+  std::vector<double> ys;
+  std::vector<std::string> cells;  ///< Node labels ("" = unresolved).
+  std::vector<bool> measured;      ///< Parallel to cells.
+  std::uint64_t points_measured = 0;
+  std::uint64_t points_dense = 0;  ///< xs.size() * ys.size().
+
+  bool operator==(const Frontier&) const = default;
+};
 
 /// Complete record of one reproduced figure.
 struct Figure {
@@ -164,6 +185,8 @@ struct Figure {
   /// Per-point profiles, present only when the run was profiled
   /// (AMDMB_PROF); sinks emit the additive "profile" block from these.
   std::vector<ProfileEntry> profiles;
+  /// 2D classification map, present only for frontier-map figures.
+  std::optional<Frontier> frontier;
   RunMeta meta;
 
   /// Filesystem-safe stem ("fig_7"); see FigureSlug.

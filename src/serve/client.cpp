@@ -49,10 +49,16 @@ Event Client::NextEvent() {
 
 Event Client::Submit(const std::string& figure, bool quick, int priority,
                      const EventCallback& on_event) {
+  return Submit(figure, quick, /*adaptive=*/false, priority, on_event);
+}
+
+Event Client::Submit(const std::string& figure, bool quick, bool adaptive,
+                     int priority, const EventCallback& on_event) {
   Request request;
   request.op = Request::Op::kSubmit;
   request.figure = figure;
   request.quick = quick;
+  request.adaptive = adaptive;
   request.priority = priority;
   if (!session_->WriteLine(SerializeRequest(request))) {
     throw ConfigError("client: daemon closed the connection");
@@ -94,6 +100,11 @@ std::optional<Event> OversizedCharacterize(const std::string& il,
 
 Event Client::Characterize(const std::string& il, bool quick, int priority,
                            const EventCallback& on_event) {
+  return Characterize(il, quick, /*adaptive=*/false, priority, on_event);
+}
+
+Event Client::Characterize(const std::string& il, bool quick, bool adaptive,
+                           int priority, const EventCallback& on_event) {
   if (std::optional<Event> oversized =
           OversizedCharacterize(il, quick, priority)) {
     return *std::move(oversized);
@@ -102,6 +113,7 @@ Event Client::Characterize(const std::string& il, bool quick, int priority,
   request.op = Request::Op::kCharacterize;
   request.il = il;
   request.quick = quick;
+  request.adaptive = adaptive;
   request.priority = priority;
   if (!session_->WriteLine(SerializeRequest(request))) {
     throw ConfigError("client: daemon closed the connection");

@@ -37,12 +37,22 @@ class Client {
   Event Submit(const std::string& figure, bool quick, int priority,
                const EventCallback& on_event = {});
 
+  /// Adaptive-aware overload: `adaptive` puts "adaptive":true on the
+  /// request, so the daemon refines (coarse pass + bisection) instead
+  /// of sweeping densely and streams `refine` wave events.
+  Event Submit(const std::string& figure, bool quick, bool adaptive,
+               int priority, const EventCallback& on_event = {});
+
   /// Submits raw kernel IL for characterization; same streaming and
   /// terminal-event contract as Submit. An oversized payload is turned
   /// into a local rejected event without ever reaching the daemon (see
   /// OversizedCharacterize).
   Event Characterize(const std::string& il, bool quick, int priority,
                      const EventCallback& on_event = {});
+
+  /// Adaptive-aware overload of Characterize (see the Submit overload).
+  Event Characterize(const std::string& il, bool quick, bool adaptive,
+                     int priority, const EventCallback& on_event = {});
 
   /// One stats round-trip.
   ServeStats Stats();

@@ -39,6 +39,7 @@ Request ParseRequest(std::string_view line) {
       throw ConfigError("request: submit \"figure\" is empty");
     }
     request.quick = doc.BoolOr("quick", false);
+    request.adaptive = doc.BoolOr("adaptive", false);
     const double priority = doc.NumberOr("priority", 0.0);
     if (priority != static_cast<int>(priority)) {
       throw ConfigError("request: \"priority\" must be an integer");
@@ -55,6 +56,7 @@ Request ParseRequest(std::string_view line) {
       throw ConfigError("request: characterize \"il\" is empty");
     }
     request.quick = doc.BoolOr("quick", false);
+    request.adaptive = doc.BoolOr("adaptive", false);
     const double priority = doc.NumberOr("priority", 0.0);
     if (priority != static_cast<int>(priority)) {
       throw ConfigError("request: \"priority\" must be an integer");
@@ -96,11 +98,13 @@ std::string SerializeRequest(const Request& request) {
     case Request::Op::kSubmit:
       os << "{\"op\":\"submit\",\"figure\":" << Quoted(request.figure)
          << ",\"quick\":" << (request.quick ? "true" : "false")
+         << (request.adaptive ? ",\"adaptive\":true" : "")
          << ",\"priority\":" << request.priority << "}";
       break;
     case Request::Op::kCharacterize:
       os << "{\"op\":\"characterize\",\"il\":" << Quoted(request.il)
          << ",\"quick\":" << (request.quick ? "true" : "false")
+         << (request.adaptive ? ",\"adaptive\":true" : "")
          << ",\"priority\":" << request.priority << "}";
       break;
     case Request::Op::kStats:
@@ -127,6 +131,7 @@ std::string_view ToString(EventType type) {
     case EventType::kProgress: return "progress";
     case EventType::kPoint: return "point";
     case EventType::kProfile: return "profile";
+    case EventType::kRefine: return "refine";
     case EventType::kDone: return "done";
     case EventType::kError: return "error";
     case EventType::kStats: return "stats";
@@ -156,7 +161,8 @@ Event ParseEvent(std::string_view line) {
   for (const EventType type :
        {EventType::kAccepted, EventType::kRejected, EventType::kStatic,
         EventType::kProgress, EventType::kPoint, EventType::kProfile,
-        EventType::kDone, EventType::kError, EventType::kStats,
+        EventType::kRefine, EventType::kDone, EventType::kError,
+        EventType::kStats,
         EventType::kDrained, EventType::kPong, EventType::kKilled}) {
     if (name == ToString(type)) {
       event.type = type;
@@ -221,6 +227,18 @@ std::string SerializeProfile(std::uint64_t id, std::string_view curve,
   os << "{\"event\":\"profile\",\"request\":" << id
      << ",\"curve\":" << Quoted(curve) << ",\"point\":" << Quoted(point)
      << ",\"bottleneck\":" << Quoted(bottleneck) << "}";
+  return os.str();
+}
+
+std::string SerializeRefine(std::uint64_t id, std::string_view curve,
+                            std::size_t wave, std::size_t wave_points,
+                            std::size_t points_spent,
+                            std::size_t dense_points) {
+  std::ostringstream os;
+  os << "{\"event\":\"refine\",\"request\":" << id
+     << ",\"curve\":" << Quoted(curve) << ",\"wave\":" << wave
+     << ",\"points\":" << wave_points << ",\"spent\":" << points_spent
+     << ",\"dense\":" << dense_points << "}";
   return os.str();
 }
 

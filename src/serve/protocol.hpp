@@ -3,6 +3,7 @@
 //
 // Requests are one-line JSON objects with an "op" key:
 //   {"op":"submit","figure":"fig_7","quick":true,"priority":0}
+//   {"op":"submit","figure":"fig_7","quick":true,"adaptive":true,...}
 //   {"op":"characterize","il":"il_ps_2_0\n...","quick":true,"priority":0}
 //   {"op":"stats"}
 //   {"op":"drain"}
@@ -22,6 +23,9 @@
 //   progress  — one figure curve finished (index / count / name).
 //   point     — one measured sweep point (curve, x, y).
 //   profile   — one profiled sweep point rode the curve.
+//   refine    — adaptive requests ("adaptive":true on submit /
+//               characterize) only: one refinement wave finished
+//               (wave, points, spent, dense grid size).
 //   done      — the request completed; carries the full schema-v2
 //               BENCH figure document as the "figure_json" string
 //               (byte-identical to the standalone bench binary's file).
@@ -68,6 +72,11 @@ struct Request {
   std::string figure;  ///< Submit only: figure slug (any spelling).
   std::string il;      ///< Characterize only: raw kernel IL text.
   bool quick = false;  ///< Submit/characterize: smoke-scale sweep.
+  /// Submit/characterize: run the sweep adaptively (coarse pass +
+  /// bisection) with `refine` progress events. Serialized only when
+  /// true, so dense request lines — and therefore the shared-cache
+  /// keys of older clients — are byte-stable.
+  bool adaptive = false;
   int priority = 0;    ///< Submit/characterize: higher pops first.
   std::uint64_t seq = 0;  ///< Ping only: heartbeat sequence number.
   unsigned worker = 0;    ///< KillWorker only: target worker index.
@@ -88,6 +97,7 @@ enum class EventType {
   kProgress,
   kPoint,
   kProfile,
+  kRefine,
   kDone,
   kError,
   kStats,
@@ -141,6 +151,13 @@ std::string SerializePoint(std::uint64_t id, std::string_view curve,
 std::string SerializeProfile(std::uint64_t id, std::string_view curve,
                              std::string_view point,
                              std::string_view bottleneck);
+/// One adaptive refinement wave finished (adaptive requests only):
+/// wave index (0 = coarse pass), points measured in the wave, points
+/// spent so far, and the dense grid size being avoided.
+std::string SerializeRefine(std::uint64_t id, std::string_view curve,
+                            std::size_t wave, std::size_t wave_points,
+                            std::size_t points_spent,
+                            std::size_t dense_points);
 std::string SerializeDone(std::uint64_t id, std::string_view figure,
                           double wall_seconds, std::uint64_t cache_hits,
                           std::uint64_t cache_misses,

@@ -14,6 +14,7 @@
 #include <map>
 #include <utility>
 
+#include "adapt/refiner.hpp"
 #include "common/status.hpp"
 #include "common/version.hpp"
 #include "exec/kernel_cache.hpp"
@@ -158,15 +159,17 @@ void Server::HandleSubmit(const std::shared_ptr<Session>& session,
     return;
   }
   const bool quick = request.quick;
+  const bool adaptive = request.adaptive;
   // The worker could pick the job up before the accepted line is on the
   // wire; gate the sweep on it so events always follow the accept.
   auto admitted = std::make_shared<std::promise<void>>();
   auto gate = std::make_shared<std::shared_future<void>>(
       admitted->get_future().share());
   const Scheduler::Ticket ticket = scheduler_.Submit(
-      request.priority, [this, session, def, quick, gate](std::uint64_t id) {
+      request.priority,
+      [this, session, def, quick, adaptive, gate](std::uint64_t id) {
         gate->wait();
-        RunSweep(session, id, *def, quick);
+        RunSweep(session, id, *def, quick, adaptive);
       });
   if (ticket.admission != Admission::kAccepted) {
     store_.RecordRejected();
@@ -204,14 +207,15 @@ void Server::HandleCharacterize(const std::shared_ptr<Session>& session,
   auto prepared = std::make_shared<const kerncap::Prepared>(
       std::move(*analysis.prepared));
   const bool quick = request.quick;
+  const bool adaptive = request.adaptive;
   auto admitted = std::make_shared<std::promise<void>>();
   auto gate = std::make_shared<std::shared_future<void>>(
       admitted->get_future().share());
   const Scheduler::Ticket ticket = scheduler_.Submit(
       request.priority,
-      [this, session, prepared, quick, gate](std::uint64_t id) {
+      [this, session, prepared, quick, adaptive, gate](std::uint64_t id) {
         gate->wait();
-        RunCharacterize(session, id, prepared, quick);
+        RunCharacterize(session, id, prepared, quick, adaptive);
       });
   if (ticket.admission != Admission::kAccepted) {
     store_.RecordRejected();
@@ -226,11 +230,29 @@ void Server::HandleCharacterize(const std::shared_ptr<Session>& session,
 
 void Server::RunSweep(const std::shared_ptr<Session>& session,
                       std::uint64_t id, const suite::figures::FigureDef& def,
-                      bool quick) {
+                      bool quick, bool adaptive) {
   const auto start = std::chrono::steady_clock::now();
   try {
     suite::figures::RunOptions opts;
     opts.quick = quick;
+    // Adaptive requests refine with the worker's env-snapshot knobs and
+    // stream one refine event per wave. Curves run sequentially inside
+    // Build, so the curve a wave belongs to is the first not-yet-done
+    // one (on_wave fires on the sweep thread, before that curve's
+    // progress event).
+    adapt::Settings settings;
+    std::size_t curves_done = 0;
+    if (adaptive) {
+      settings = adapt::Settings::FromEnv();
+      settings.on_wave = [&](const adapt::WaveInfo& w) {
+        const std::string& curve = curves_done < def.curves.size()
+                                       ? def.curves[curves_done].name
+                                       : def.slug;
+        session->WriteLine(SerializeRefine(id, curve, w.wave, w.wave_points,
+                                           w.points_spent, w.dense_points));
+      };
+      opts.adaptive = &settings;
+    }
     // Stream every new point / profile entry after each curve; emitted
     // counts are tracked per series because a curve's series name can
     // differ from the CurveDef name (Fig. 15's "Pixel/3870" -> "3870").
@@ -240,6 +262,7 @@ void Server::RunSweep(const std::shared_ptr<Session>& session,
         def, opts,
         [&](std::size_t index, std::size_t count, const std::string& curve,
             const report::Figure& so_far) {
+          curves_done = index + 1;
           session->WriteLine(SerializeProgress(id, index, count, curve));
           for (const report::Curve& series : so_far.set.All()) {
             std::size_t& sent = points_sent[series.Name()];
@@ -275,7 +298,8 @@ void Server::RunSweep(const std::shared_ptr<Session>& session,
 
 void Server::RunCharacterize(
     const std::shared_ptr<Session>& session, std::uint64_t id,
-    const std::shared_ptr<const kerncap::Prepared>& prepared, bool quick) {
+    const std::shared_ptr<const kerncap::Prepared>& prepared, bool quick,
+    bool adaptive) {
   const std::string slug = kerncap::Slug(*prepared);
   const auto start = std::chrono::steady_clock::now();
   try {
@@ -296,12 +320,30 @@ void Server::RunCharacterize(
     }
     kerncap::CharacterizeOptions opts;
     opts.quick = quick;
+    // Same wave attribution scheme as RunSweep, over the kernel's
+    // eligible (arch, mode) curves.
+    adapt::Settings settings;
+    std::size_t curves_done = 0;
+    std::vector<suite::CurveKey> curves;
+    if (adaptive) {
+      curves = kerncap::EligibleCurves(prepared->kernel);
+      settings = adapt::Settings::FromEnv();
+      settings.on_wave = [&](const adapt::WaveInfo& w) {
+        const std::string curve = curves_done < curves.size()
+                                      ? curves[curves_done].Name()
+                                      : slug;
+        session->WriteLine(SerializeRefine(id, curve, w.wave, w.wave_points,
+                                           w.points_spent, w.dense_points));
+      };
+      opts.adaptive = &settings;
+    }
     std::map<std::string, std::size_t> points_sent;
     std::size_t profiles_sent = 0;
     const report::Figure figure = kerncap::Characterize(
         *prepared, opts,
         [&](std::size_t index, std::size_t count, const std::string& curve,
             const report::Figure& so_far) {
+          curves_done = index + 1;
           session->WriteLine(SerializeProgress(id, index, count, curve));
           for (const report::Curve& series : so_far.set.All()) {
             std::size_t& sent = points_sent[series.Name()];

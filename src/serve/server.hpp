@@ -89,11 +89,12 @@ class Server {
                   const Request& request);
   const suite::figures::FigureDef* FindFigure(const std::string& slug) const;
   void RunSweep(const std::shared_ptr<Session>& session, std::uint64_t id,
-                const suite::figures::FigureDef& def, bool quick);
+                const suite::figures::FigureDef& def, bool quick,
+                bool adaptive);
   void RunCharacterize(const std::shared_ptr<Session>& session,
                        std::uint64_t id,
                        const std::shared_ptr<const kerncap::Prepared>& prepared,
-                       bool quick);
+                       bool quick, bool adaptive);
 
   ServerConfig config_;
   Scheduler scheduler_;

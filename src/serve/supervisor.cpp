@@ -311,6 +311,7 @@ void Supervisor::ForwardRequest(const std::shared_ptr<Session>& session,
         case EventType::kProgress:
         case EventType::kPoint:
         case EventType::kProfile:
+        case EventType::kRefine:
           streamed = true;
           session->WriteLine(line);
           break;

@@ -30,35 +30,71 @@ AluFetchResult RunAluFetch(const Runner& runner, ShaderMode mode,
     ratios.push_back(ratio);
   }
 
+  const auto measure_point = [&](std::size_t i, unsigned attempt) {
+    const double ratio = ratios[i];
+    GenericSpec spec;
+    spec.inputs = config.inputs;
+    spec.outputs = config.outputs;
+    spec.alu_ops = AluOpsForRatio(ratio, config.inputs);
+    spec.type = type;
+    spec.read_path = config.read_path;
+    spec.write_path = write;
+    spec.name = "alufetch_r" + FormatDouble(ratio, 2);
+    AluFetchPoint point;
+    point.ratio = ratio;
+    point.m = runner.Measure(GenerateGeneric(spec), launch,
+                             {spec.name, attempt});
+    return point;
+  };
+  const std::string alu_label(sim::ToString(sim::Bottleneck::kAlu));
+
+  if (config.adaptive != nullptr) {
+    // Adaptive path: coarse pass + bisection around bottleneck flips.
+    // Waves touch distinct indices, so the slot writes never race.
+    std::vector<std::optional<AluFetchPoint>> slots(ratios.size());
+    const adapt::Refiner refiner(*config.adaptive, config.executor,
+                                 config.retry, config.cancel);
+    adapt::Outcome outcome = refiner.Run(
+        ratios.size(), [&](std::size_t i) { return ratios[i]; },
+        [&](std::size_t i, unsigned attempt) {
+          AluFetchPoint point = measure_point(i, attempt);
+          std::string label(sim::ToString(point.m.stats.bottleneck));
+          slots[i] = std::move(point);
+          return label;
+        },
+        &result.report);
+    for (exec::PointOutcome& point : result.report.points) {
+      point.label = "alufetch_r" + FormatDouble(ratios[point.index], 2);
+    }
+    for (std::optional<AluFetchPoint>& slot : slots) {
+      if (slot) result.points.push_back(std::move(*slot));
+    }
+    if (const auto t = adapt::FirstTransitionTo(outcome.samples, alu_label)) {
+      result.crossover = t->upper_x;
+    }
+    result.adaptive = std::move(outcome);
+    return result;
+  }
+
   auto slots = exec::ExecutorOrDefault(config.executor)
                    .MapWithPolicy(
                        ratios.size(),
                        [&](std::size_t i, unsigned attempt) {
-                         const double ratio = ratios[i];
-                         GenericSpec spec;
-                         spec.inputs = config.inputs;
-                         spec.outputs = config.outputs;
-                         spec.alu_ops = AluOpsForRatio(ratio, config.inputs);
-                         spec.type = type;
-                         spec.read_path = config.read_path;
-                         spec.write_path = write;
-                         spec.name = "alufetch_r" + FormatDouble(ratio, 2);
-                         AluFetchPoint point;
-                         point.ratio = ratio;
-                         point.m = runner.Measure(GenerateGeneric(spec), launch,
-                                                  {spec.name, attempt});
-                         return point;
+                         return measure_point(i, attempt);
                        },
                        config.retry, &result.report, config.cancel);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     result.report.points[i].label = "alufetch_r" + FormatDouble(ratios[i], 2);
     if (slots[i]) result.points.push_back(std::move(*slots[i]));
   }
+  std::vector<adapt::Sample> samples;
+  samples.reserve(result.points.size());
   for (const AluFetchPoint& point : result.points) {
-    if (point.m.stats.bottleneck == sim::Bottleneck::kAlu) {
-      result.crossover = point.ratio;
-      break;
-    }
+    samples.push_back(
+        {point.ratio, std::string(sim::ToString(point.m.stats.bottleneck))});
+  }
+  if (const auto t = adapt::FirstTransitionTo(samples, alu_label)) {
+    result.crossover = t->upper_x;
   }
   return result;
 }
@@ -91,6 +127,12 @@ std::vector<report::Finding> Findings(const AluFetchResult& result,
   findings.push_back({report::FindingKind::kPlateau, curve,
                       "max_ratio_seconds", result.points.back().m.seconds,
                       "s", ""});
+  if (result.adaptive.has_value()) {
+    // Adaptive-only: dense documents must stay byte-identical.
+    const auto extra =
+        adapt::AdaptiveFindings(*result.adaptive, curve, "ratio");
+    findings.insert(findings.end(), extra.begin(), extra.end());
+  }
   return findings;
 }
 

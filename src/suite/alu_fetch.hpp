@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "adapt/refiner.hpp"
 #include "report/record.hpp"
 #include "report/series.hpp"
 #include "suite/microbench.hpp"
@@ -41,6 +42,10 @@ struct AluFetchConfig {
   /// SIGTERM flag here so an interrupted run still flushes a partial
   /// figure).
   const exec::CancelToken* cancel = nullptr;
+  /// Non-null switches the sweep to adaptive refinement (adapt::Refiner):
+  /// only the coarse pass plus bisection points around bottleneck flips
+  /// are measured. Dense output is unchanged when null.
+  const adapt::Settings* adaptive = nullptr;
 };
 
 struct AluFetchPoint {
@@ -55,6 +60,9 @@ struct AluFetchResult {
   std::optional<double> crossover;
   /// Per-point outcome (ok / retried / skipped) of the whole sweep.
   exec::RunReport report;
+  /// Refinement record (points spent, typed transitions); present only
+  /// when the sweep ran adaptively.
+  std::optional<adapt::Outcome> adaptive;
 };
 
 AluFetchResult RunAluFetch(const Runner& runner, ShaderMode mode,

@@ -32,25 +32,51 @@ DomainSizeResult RunDomainSize(const Runner& runner, ShaderMode mode,
   }
 
   DomainSizeResult result;
-  auto slots =
-      exec::ExecutorOrDefault(config.executor)
-          .MapWithPolicy(
-              sizes.size(),
-              [&](std::size_t i, unsigned attempt) {
-                sim::LaunchConfig launch;
-                launch.domain = Domain{sizes[i], sizes[i]};
-                launch.mode = mode;
-                launch.block = config.block;
-                launch.repetitions = config.repetitions;
-                launch.profile = config.profile;
-                DomainSizePoint point;
-                point.size = sizes[i];
-                point.m = runner.Measure(
-                    kernel, launch,
-                    {"domain_" + std::to_string(sizes[i]), attempt});
-                return point;
-              },
-              config.retry, &result.report, config.cancel);
+  const auto measure_point = [&](std::size_t i, unsigned attempt) {
+    sim::LaunchConfig launch;
+    launch.domain = Domain{sizes[i], sizes[i]};
+    launch.mode = mode;
+    launch.block = config.block;
+    launch.repetitions = config.repetitions;
+    launch.profile = config.profile;
+    DomainSizePoint point;
+    point.size = sizes[i];
+    point.m = runner.Measure(kernel, launch,
+                             {"domain_" + std::to_string(sizes[i]), attempt});
+    return point;
+  };
+
+  if (config.adaptive != nullptr) {
+    std::vector<std::optional<DomainSizePoint>> slots(sizes.size());
+    const adapt::Refiner refiner(*config.adaptive, config.executor,
+                                 config.retry, config.cancel);
+    adapt::Outcome outcome = refiner.Run(
+        sizes.size(),
+        [&](std::size_t i) { return static_cast<double>(sizes[i]); },
+        [&](std::size_t i, unsigned attempt) {
+          DomainSizePoint point = measure_point(i, attempt);
+          std::string label(sim::ToString(point.m.stats.bottleneck));
+          slots[i] = std::move(point);
+          return label;
+        },
+        &result.report);
+    for (exec::PointOutcome& point : result.report.points) {
+      point.label = "domain_" + std::to_string(sizes[point.index]);
+    }
+    for (std::optional<DomainSizePoint>& slot : slots) {
+      if (slot) result.points.push_back(std::move(*slot));
+    }
+    result.adaptive = std::move(outcome);
+    return result;
+  }
+
+  auto slots = exec::ExecutorOrDefault(config.executor)
+                   .MapWithPolicy(
+                       sizes.size(),
+                       [&](std::size_t i, unsigned attempt) {
+                         return measure_point(i, attempt);
+                       },
+                       config.retry, &result.report, config.cancel);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     result.report.points[i].label = "domain_" + std::to_string(sizes[i]);
     if (slots[i]) result.points.push_back(std::move(*slots[i]));
@@ -89,6 +115,12 @@ std::vector<report::Finding> Findings(const DomainSizeResult& result,
   findings.push_back({report::FindingKind::kPlateau, curve,
                       "max_domain_seconds", result.points.back().m.seconds,
                       "s", ""});
+  if (result.adaptive.has_value()) {
+    // Adaptive-only: dense documents must stay byte-identical.
+    const auto extra =
+        adapt::AdaptiveFindings(*result.adaptive, curve, "size");
+    findings.insert(findings.end(), extra.begin(), extra.end());
+  }
   return findings;
 }
 

@@ -7,8 +7,10 @@
 // that a large thread count is needed to keep the GPU busy.
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "adapt/refiner.hpp"
 #include "report/record.hpp"
 #include "report/series.hpp"
 #include "suite/microbench.hpp"
@@ -36,6 +38,8 @@ struct DomainSizeConfig {
   /// SIGTERM flag here so an interrupted run still flushes a partial
   /// figure).
   const exec::CancelToken* cancel = nullptr;
+  /// Non-null switches the sweep to adaptive refinement (adapt::Refiner).
+  const adapt::Settings* adaptive = nullptr;
 };
 
 struct DomainSizePoint {
@@ -47,6 +51,8 @@ struct DomainSizeResult {
   std::vector<DomainSizePoint> points;  ///< Successful points only.
   /// Per-point outcome (ok / retried / skipped) of the whole sweep.
   exec::RunReport report;
+  /// Refinement record; present only when the sweep ran adaptively.
+  std::optional<adapt::Outcome> adaptive;
 };
 
 DomainSizeResult RunDomainSize(const Runner& runner, ShaderMode mode,

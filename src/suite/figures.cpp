@@ -33,6 +33,7 @@ AluFetchConfig QuickAluFetch(const RunOptions& opts) {
   }
   config.executor = opts.executor;
   config.cancel = opts.cancel;
+  config.adaptive = opts.adaptive;
   return config;
 }
 
@@ -226,6 +227,7 @@ ReadLatencyConfig QuickReadLatency(const RunOptions& opts) {
   if (opts.quick) config.domain = Domain{256, 256};
   config.executor = opts.executor;
   config.cancel = opts.cancel;
+  config.adaptive = opts.adaptive;
   return config;
 }
 
@@ -300,6 +302,7 @@ WriteLatencyConfig QuickWriteLatency(const RunOptions& opts) {
   if (opts.quick) config.domain = Domain{256, 256};
   config.executor = opts.executor;
   config.cancel = opts.cancel;
+  config.adaptive = opts.adaptive;
   return config;
 }
 
@@ -424,6 +427,7 @@ std::pair<FigureDef, FigureDef> MakeFig15() {
              }
              config.executor = opts.executor;
              config.cancel = opts.cancel;
+             config.adaptive = opts.adaptive;
              Runner runner(key.arch);
              const DomainSizeResult f =
                  RunDomainSize(runner, key.mode, DataType::kFloat, config);
@@ -456,6 +460,7 @@ RegisterUsageConfig QuickRegisterUsage(const RunOptions& opts) {
   if (opts.quick) config.domain = Domain{256, 256};
   config.executor = opts.executor;
   config.cancel = opts.cancel;
+  config.adaptive = opts.adaptive;
   return config;
 }
 
@@ -629,6 +634,7 @@ report::Figure Build(const FigureDef& def, const RunOptions& opts,
   // Meta records the scale the figure actually ran at (the request's
   // quick flag), which for the bench binaries equals AMDMB_QUICK.
   figure.meta.quick = opts.quick;
+  figure.meta.adaptive = opts.adaptive != nullptr;
   return figure;
 }
 

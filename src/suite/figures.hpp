@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "adapt/refiner.hpp"
 #include "exec/run_report.hpp"
 #include "exec/sweep_executor.hpp"
 #include "il/il.hpp"
@@ -34,6 +35,10 @@ struct RunOptions {
   const exec::SweepExecutor* executor = nullptr;
   /// Cooperative cancellation for every curve's sweep (may be null).
   const exec::CancelToken* cancel = nullptr;
+  /// Non-null runs every curve's sweep adaptively (coarse pass +
+  /// bisection, adapt::Refiner) instead of densely. Reflected in
+  /// `figure.meta.adaptive`.
+  const adapt::Settings* adaptive = nullptr;
 };
 
 /// One curve of a figure. `run` executes the sweep, appends the curve's

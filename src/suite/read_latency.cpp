@@ -22,34 +22,65 @@ ReadLatencyResult RunReadLatency(const Runner& runner, ShaderMode mode,
       mode == ShaderMode::kCompute ? WritePath::kGlobal : WritePath::kStream;
 
   const std::size_t count = config.max_inputs - config.min_inputs + 1;
-  auto slots = exec::ExecutorOrDefault(config.executor)
-                   .MapWithPolicy(
-                       count,
-                       [&](std::size_t i, unsigned attempt) {
-                         const unsigned inputs =
-                             config.min_inputs + static_cast<unsigned>(i);
-                         GenericSpec spec;
-                         spec.inputs = inputs;
-                         spec.outputs = 1;
-                         // Sec. III-B: ALU ops fixed to inputs - 1 so the
-                         // fetch stays the bottleneck.
-                         spec.alu_ops = inputs - 1;
-                         spec.type = type;
-                         spec.read_path = config.read_path;
-                         spec.write_path = write;
-                         spec.name = "readlat_in" + std::to_string(inputs);
-                         ReadLatencyPoint point;
-                         point.inputs = inputs;
-                         point.m = runner.Measure(GenerateGeneric(spec),
-                                                  launch, {spec.name, attempt});
-                         return point;
-                       },
-                       config.retry, &result.report, config.cancel);
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    result.report.points[i].label =
-        "readlat_in" +
-        std::to_string(config.min_inputs + static_cast<unsigned>(i));
-    if (slots[i]) result.points.push_back(std::move(*slots[i]));
+  const auto measure_point = [&](std::size_t i, unsigned attempt) {
+    const unsigned inputs = config.min_inputs + static_cast<unsigned>(i);
+    GenericSpec spec;
+    spec.inputs = inputs;
+    spec.outputs = 1;
+    // Sec. III-B: ALU ops fixed to inputs - 1 so the fetch stays the
+    // bottleneck.
+    spec.alu_ops = inputs - 1;
+    spec.type = type;
+    spec.read_path = config.read_path;
+    spec.write_path = write;
+    spec.name = "readlat_in" + std::to_string(inputs);
+    ReadLatencyPoint point;
+    point.inputs = inputs;
+    point.m =
+        runner.Measure(GenerateGeneric(spec), launch, {spec.name, attempt});
+    return point;
+  };
+
+  if (config.adaptive != nullptr) {
+    std::vector<std::optional<ReadLatencyPoint>> slots(count);
+    const adapt::Refiner refiner(*config.adaptive, config.executor,
+                                 config.retry, config.cancel);
+    adapt::Outcome outcome = refiner.Run(
+        count,
+        [&](std::size_t i) {
+          return static_cast<double>(config.min_inputs + i);
+        },
+        [&](std::size_t i, unsigned attempt) {
+          ReadLatencyPoint point = measure_point(i, attempt);
+          std::string label(sim::ToString(point.m.stats.bottleneck));
+          slots[i] = std::move(point);
+          return label;
+        },
+        &result.report);
+    for (exec::PointOutcome& point : result.report.points) {
+      point.label =
+          "readlat_in" +
+          std::to_string(config.min_inputs +
+                         static_cast<unsigned>(point.index));
+    }
+    for (std::optional<ReadLatencyPoint>& slot : slots) {
+      if (slot) result.points.push_back(std::move(*slot));
+    }
+    result.adaptive = std::move(outcome);
+  } else {
+    auto slots = exec::ExecutorOrDefault(config.executor)
+                     .MapWithPolicy(
+                         count,
+                         [&](std::size_t i, unsigned attempt) {
+                           return measure_point(i, attempt);
+                         },
+                         config.retry, &result.report, config.cancel);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      result.report.points[i].label =
+          "readlat_in" +
+          std::to_string(config.min_inputs + static_cast<unsigned>(i));
+      if (slots[i]) result.points.push_back(std::move(*slots[i]));
+    }
   }
 
   std::vector<double> xs;
@@ -80,10 +111,17 @@ SeriesSet ReadLatencyFigure(const std::vector<CurveKey>& curves,
 
 std::vector<report::Finding> Findings(const ReadLatencyResult& result,
                                       const std::string& curve) {
-  return {{report::FindingKind::kSlope, curve, "seconds_per_input",
-           result.fit.slope, "s/input", ""},
-          {report::FindingKind::kRatio, curve, "fit_r2", result.fit.r2, "",
-           ""}};
+  std::vector<report::Finding> findings{
+      {report::FindingKind::kSlope, curve, "seconds_per_input",
+       result.fit.slope, "s/input", ""},
+      {report::FindingKind::kRatio, curve, "fit_r2", result.fit.r2, "", ""}};
+  if (result.adaptive.has_value()) {
+    // Adaptive-only: dense documents must stay byte-identical.
+    const auto extra =
+        adapt::AdaptiveFindings(*result.adaptive, curve, "inputs");
+    findings.insert(findings.end(), extra.begin(), extra.end());
+  }
+  return findings;
 }
 
 }  // namespace amdmb::suite

@@ -6,8 +6,10 @@
 // stays the bottleneck. Reports the per-input latency slope.
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "adapt/refiner.hpp"
 #include "common/stats.hpp"
 #include "report/record.hpp"
 #include "report/series.hpp"
@@ -34,6 +36,9 @@ struct ReadLatencyConfig {
   /// SIGTERM flag here so an interrupted run still flushes a partial
   /// figure).
   const exec::CancelToken* cancel = nullptr;
+  /// Non-null switches the sweep to adaptive refinement (adapt::Refiner);
+  /// the latency fit then uses only the refined points.
+  const adapt::Settings* adaptive = nullptr;
 };
 
 struct ReadLatencyPoint {
@@ -46,6 +51,8 @@ struct ReadLatencyResult {
   LineFit fit;  ///< seconds vs inputs.
   /// Per-point outcome (ok / retried / skipped) of the whole sweep.
   exec::RunReport report;
+  /// Refinement record; present only when the sweep ran adaptively.
+  std::optional<adapt::Outcome> adaptive;
 };
 
 ReadLatencyResult RunReadLatency(const Runner& runner, ShaderMode mode,

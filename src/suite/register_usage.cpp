@@ -19,33 +19,62 @@ RegisterUsageResult RunRegisterUsage(const Runner& runner, ShaderMode mode,
   launch.profile = config.profile;
 
   const std::size_t count = config.max_step - config.min_step + 1;
+  const auto measure_point = [&](std::size_t i, unsigned attempt) {
+    const unsigned step = config.min_step + static_cast<unsigned>(i);
+    RegisterUsageSpec spec;
+    spec.inputs = config.inputs;
+    spec.space = config.space;
+    spec.step = step;
+    spec.alu_fetch_ratio = config.alu_fetch_ratio;
+    spec.type = type;
+    spec.read_path = ReadPath::kTexture;
+    spec.write_path = mode == ShaderMode::kCompute ? WritePath::kGlobal
+                                                   : WritePath::kStream;
+    spec.name = "regusage_s" + std::to_string(step);
+    const il::Kernel kernel = config.clause_control
+                                  ? GenerateClauseUsage(spec)
+                                  : GenerateRegisterUsage(spec);
+    RegisterUsagePoint point;
+    point.step = step;
+    point.m = runner.Measure(kernel, launch, {spec.name, attempt});
+    point.gpr_count = point.m.stats.gpr_count;
+    return point;
+  };
+
+  if (config.adaptive != nullptr) {
+    std::vector<std::optional<RegisterUsagePoint>> slots(count);
+    const adapt::Refiner refiner(*config.adaptive, config.executor,
+                                 config.retry, config.cancel);
+    adapt::Outcome outcome = refiner.Run(
+        count,
+        [&](std::size_t i) {
+          return static_cast<double>(config.min_step + i);
+        },
+        [&](std::size_t i, unsigned attempt) {
+          RegisterUsagePoint point = measure_point(i, attempt);
+          std::string label(sim::ToString(point.m.stats.bottleneck));
+          slots[i] = std::move(point);
+          return label;
+        },
+        &result.report);
+    for (exec::PointOutcome& point : result.report.points) {
+      point.label =
+          "regusage_s" +
+          std::to_string(config.min_step +
+                         static_cast<unsigned>(point.index));
+    }
+    for (std::optional<RegisterUsagePoint>& slot : slots) {
+      if (slot) result.points.push_back(std::move(*slot));
+    }
+    result.adaptive = std::move(outcome);
+    return result;
+  }
+
   auto slots = exec::ExecutorOrDefault(config.executor)
                    .MapWithPolicy(
                        count,
                        [&](std::size_t i, unsigned attempt) {
-                         const unsigned step =
-                             config.min_step + static_cast<unsigned>(i);
-                         RegisterUsageSpec spec;
-                         spec.inputs = config.inputs;
-                         spec.space = config.space;
-                         spec.step = step;
-                         spec.alu_fetch_ratio = config.alu_fetch_ratio;
-                         spec.type = type;
-                         spec.read_path = ReadPath::kTexture;
-                         spec.write_path = mode == ShaderMode::kCompute
-                                               ? WritePath::kGlobal
-                                               : WritePath::kStream;
-                         spec.name = "regusage_s" + std::to_string(step);
-                         const il::Kernel kernel =
-                             config.clause_control
-                                 ? GenerateClauseUsage(spec)
-                                 : GenerateRegisterUsage(spec);
-                         RegisterUsagePoint point;
-                         point.step = step;
-                         point.m = runner.Measure(kernel, launch,
-                                                  {spec.name, attempt});
-                         point.gpr_count = point.m.stats.gpr_count;
-                         return point;
+                         return measure_point(i, attempt);
                        },
                        config.retry, &result.report, config.cancel);
   for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -89,6 +118,12 @@ std::vector<report::Finding> Findings(const RegisterUsageResult& result,
                       "gpr_min_seconds", last.m.seconds, "s", ""});
   findings.push_back({report::FindingKind::kRatio, curve, "register_speedup",
                       first.m.seconds / last.m.seconds, "x", ""});
+  if (result.adaptive.has_value()) {
+    // Adaptive-only: dense documents must stay byte-identical.
+    const auto extra =
+        adapt::AdaptiveFindings(*result.adaptive, curve, "step");
+    findings.insert(findings.end(), extra.begin(), extra.end());
+  }
   return findings;
 }
 

@@ -10,8 +10,10 @@
 // comes from register pressure, not from moving ALU ops across clauses.
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "adapt/refiner.hpp"
 #include "report/record.hpp"
 #include "report/series.hpp"
 #include "suite/kernelgen.hpp"
@@ -43,6 +45,8 @@ struct RegisterUsageConfig {
   /// SIGTERM flag here so an interrupted run still flushes a partial
   /// figure).
   const exec::CancelToken* cancel = nullptr;
+  /// Non-null switches the sweep to adaptive refinement (adapt::Refiner).
+  const adapt::Settings* adaptive = nullptr;
 };
 
 struct RegisterUsagePoint {
@@ -55,6 +59,8 @@ struct RegisterUsageResult {
   std::vector<RegisterUsagePoint> points;  ///< Successful points only.
   /// Per-point outcome (ok / retried / skipped) of the whole sweep.
   exec::RunReport report;
+  /// Refinement record; present only when the sweep ran adaptively.
+  std::optional<adapt::Outcome> adaptive;
 };
 
 RegisterUsageResult RunRegisterUsage(const Runner& runner, ShaderMode mode,

@@ -26,32 +26,63 @@ WriteLatencyResult RunWriteLatency(const Runner& runner, ShaderMode mode,
       mode == ShaderMode::kCompute ? WritePath::kGlobal : config.write_path;
 
   const std::size_t count = config.max_outputs - config.min_outputs + 1;
-  auto slots = exec::ExecutorOrDefault(config.executor)
-                   .MapWithPolicy(
-                       count,
-                       [&](std::size_t i, unsigned attempt) {
-                         const unsigned outputs =
-                             config.min_outputs + static_cast<unsigned>(i);
-                         GenericSpec spec;
-                         spec.inputs = config.inputs;
-                         spec.outputs = outputs;
-                         spec.alu_ops = config.alu_ops;
-                         spec.type = type;
-                         spec.read_path = ReadPath::kTexture;
-                         spec.write_path = write;
-                         spec.name = "writelat_out" + std::to_string(outputs);
-                         WriteLatencyPoint point;
-                         point.outputs = outputs;
-                         point.m = runner.Measure(GenerateGeneric(spec),
-                                                  launch, {spec.name, attempt});
-                         return point;
-                       },
-                       config.retry, &result.report, config.cancel);
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    result.report.points[i].label =
-        "writelat_out" +
-        std::to_string(config.min_outputs + static_cast<unsigned>(i));
-    if (slots[i]) result.points.push_back(std::move(*slots[i]));
+  const auto measure_point = [&](std::size_t i, unsigned attempt) {
+    const unsigned outputs = config.min_outputs + static_cast<unsigned>(i);
+    GenericSpec spec;
+    spec.inputs = config.inputs;
+    spec.outputs = outputs;
+    spec.alu_ops = config.alu_ops;
+    spec.type = type;
+    spec.read_path = ReadPath::kTexture;
+    spec.write_path = write;
+    spec.name = "writelat_out" + std::to_string(outputs);
+    WriteLatencyPoint point;
+    point.outputs = outputs;
+    point.m =
+        runner.Measure(GenerateGeneric(spec), launch, {spec.name, attempt});
+    return point;
+  };
+
+  if (config.adaptive != nullptr) {
+    std::vector<std::optional<WriteLatencyPoint>> slots(count);
+    const adapt::Refiner refiner(*config.adaptive, config.executor,
+                                 config.retry, config.cancel);
+    adapt::Outcome outcome = refiner.Run(
+        count,
+        [&](std::size_t i) {
+          return static_cast<double>(config.min_outputs + i);
+        },
+        [&](std::size_t i, unsigned attempt) {
+          WriteLatencyPoint point = measure_point(i, attempt);
+          std::string label(sim::ToString(point.m.stats.bottleneck));
+          slots[i] = std::move(point);
+          return label;
+        },
+        &result.report);
+    for (exec::PointOutcome& point : result.report.points) {
+      point.label =
+          "writelat_out" +
+          std::to_string(config.min_outputs +
+                         static_cast<unsigned>(point.index));
+    }
+    for (std::optional<WriteLatencyPoint>& slot : slots) {
+      if (slot) result.points.push_back(std::move(*slot));
+    }
+    result.adaptive = std::move(outcome);
+  } else {
+    auto slots = exec::ExecutorOrDefault(config.executor)
+                     .MapWithPolicy(
+                         count,
+                         [&](std::size_t i, unsigned attempt) {
+                           return measure_point(i, attempt);
+                         },
+                         config.retry, &result.report, config.cancel);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      result.report.points[i].label =
+          "writelat_out" +
+          std::to_string(config.min_outputs + static_cast<unsigned>(i));
+      if (slots[i]) result.points.push_back(std::move(*slots[i]));
+    }
   }
 
   std::vector<double> xs;
@@ -82,10 +113,17 @@ SeriesSet WriteLatencyFigure(const std::vector<CurveKey>& curves,
 
 std::vector<report::Finding> Findings(const WriteLatencyResult& result,
                                       const std::string& curve) {
-  return {{report::FindingKind::kSlope, curve, "seconds_per_output",
-           result.fit.slope, "s/output", ""},
-          {report::FindingKind::kRatio, curve, "fit_r2", result.fit.r2, "",
-           ""}};
+  std::vector<report::Finding> findings{
+      {report::FindingKind::kSlope, curve, "seconds_per_output",
+       result.fit.slope, "s/output", ""},
+      {report::FindingKind::kRatio, curve, "fit_r2", result.fit.r2, "", ""}};
+  if (result.adaptive.has_value()) {
+    // Adaptive-only: dense documents must stay byte-identical.
+    const auto extra =
+        adapt::AdaptiveFindings(*result.adaptive, curve, "outputs");
+    findings.insert(findings.end(), extra.begin(), extra.end());
+  }
+  return findings;
 }
 
 }  // namespace amdmb::suite

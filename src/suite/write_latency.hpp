@@ -8,8 +8,10 @@
 // (the flat left end of Fig. 13).
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "adapt/refiner.hpp"
 #include "common/stats.hpp"
 #include "report/record.hpp"
 #include "report/series.hpp"
@@ -38,6 +40,9 @@ struct WriteLatencyConfig {
   /// SIGTERM flag here so an interrupted run still flushes a partial
   /// figure).
   const exec::CancelToken* cancel = nullptr;
+  /// Non-null switches the sweep to adaptive refinement (adapt::Refiner);
+  /// the latency fit then uses only the refined points.
+  const adapt::Settings* adaptive = nullptr;
 };
 
 struct WriteLatencyPoint {
@@ -50,6 +55,8 @@ struct WriteLatencyResult {
   LineFit fit;  ///< seconds vs outputs.
   /// Per-point outcome (ok / retried / skipped) of the whole sweep.
   exec::RunReport report;
+  /// Refinement record; present only when the sweep ran adaptively.
+  std::optional<adapt::Outcome> adaptive;
 };
 
 WriteLatencyResult RunWriteLatency(const Runner& runner, ShaderMode mode,

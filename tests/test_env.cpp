@@ -252,5 +252,48 @@ TEST(EnvTest, FleetKnobsRejectMalformedValuesNamingTheVariable) {
   }
 }
 
+TEST(EnvTest, AdaptKnobsParse) {
+  const env::Options o = FakeEnv({{"AMDMB_ADAPT", "1"},
+                                  {"AMDMB_ADAPT_TOL", "4"},
+                                  {"AMDMB_ADAPT_BUDGET", "100"}})
+                             .Parse();
+  EXPECT_TRUE(o.adapt);
+  EXPECT_EQ(o.adapt_tol, 4u);
+  EXPECT_EQ(o.adapt_budget, 100u);
+  EXPECT_FALSE(FakeEnv({{"AMDMB_ADAPT", "0"}}).Parse().adapt);
+}
+
+TEST(EnvTest, AdaptKnobsDefaultWhenUnset) {
+  const env::Options o = FakeEnv({}).Parse();
+  EXPECT_FALSE(o.adapt);
+  EXPECT_EQ(o.adapt_tol, 2u);       // The dense-agreement tolerance.
+  EXPECT_EQ(o.adapt_budget, 0u);    // Unlimited refinement points.
+  EXPECT_EQ(env::ParseAdaptTol("1"), 1u);
+  EXPECT_EQ(env::ParseAdaptTol("64"), 64u);
+  EXPECT_EQ(env::ParseAdaptBudget("0"), 0u);
+  EXPECT_EQ(env::ParseAdaptBudget("12"), 12u);
+}
+
+TEST(EnvTest, AdaptKnobsRejectMalformedValuesNamingTheVariable) {
+  for (const char* bad : {"abc", "0", "65", "-1", "2x", "1.5"}) {
+    try {
+      FakeEnv({{"AMDMB_ADAPT_TOL", bad}}).Parse();
+      FAIL() << "expected ConfigError for '" << bad << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("AMDMB_ADAPT_TOL"),
+                std::string::npos);
+    }
+  }
+  for (const char* bad : {"abc", "-1", "9x", "0.5"}) {
+    try {
+      FakeEnv({{"AMDMB_ADAPT_BUDGET", bad}}).Parse();
+      FAIL() << "expected ConfigError for '" << bad << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("AMDMB_ADAPT_BUDGET"),
+                std::string::npos);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace amdmb

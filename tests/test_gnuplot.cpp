@@ -45,5 +45,62 @@ TEST(GnuplotTest, WritesDatAndScriptFiles) {
   std::filesystem::remove_all(dir);
 }
 
+report::Frontier SampleFrontier() {
+  report::Frontier frontier;
+  frontier.x_label = "ratio";
+  frontier.y_label = "step";
+  frontier.xs = {0.5, 1.0, 2.0};
+  frontier.ys = {0.0, 1.0};
+  frontier.cells = {"FETCH", "ALU", "ALU", "FETCH", "", "ALU"};
+  frontier.measured = {true, true, false, true, false, true};
+  frontier.points_measured = 4;
+  frontier.points_dense = 6;
+  return frontier;
+}
+
+TEST(GnuplotTest, WritesFrontierHeatmapWithStableCodes) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "amdmb_gnuplot_frontier";
+  std::filesystem::remove_all(dir);
+  const std::filesystem::path gp =
+      WriteFrontierGnuplot(SampleFrontier(), dir, "fig");
+  EXPECT_TRUE(std::filesystem::exists(gp));
+  const std::filesystem::path dat = dir / "fig_frontier.dat";
+  ASSERT_TRUE(std::filesystem::exists(dat));
+
+  std::ifstream in(dat);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // Sorted distinct labels get codes 0..N-1; the unresolved "" cell
+  // renders as -1 below the palette.
+  EXPECT_NE(text.find("# class -1 = (unresolved)"), std::string::npos);
+  EXPECT_NE(text.find("# class 0 = ALU"), std::string::npos);
+  EXPECT_NE(text.find("# class 1 = FETCH"), std::string::npos);
+  EXPECT_NE(text.find("1 0 0\n"), std::string::npos);   // x=1 y=0 ALU.
+  EXPECT_NE(text.find("1 1 -1\n"), std::string::npos);  // Unresolved.
+
+  std::ifstream script_in(gp);
+  std::string script((std::istreambuf_iterator<char>(script_in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_NE(script.find("set view map"), std::string::npos);
+  EXPECT_NE(script.find("with image"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GnuplotTest, SinkEmitsFrontierAlongsideTheLinePlot) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "amdmb_gnuplot_sink_frontier";
+  std::filesystem::remove_all(dir);
+  report::Figure figure("Fig. 99 — test", "t", "x", "y", "claim");
+  figure.set.Get("a").Add(1, 2);
+  figure.frontier = SampleFrontier();
+  report::GnuplotSink sink(dir);
+  sink.Write(figure);
+  ASSERT_EQ(sink.Written().size(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir / "fig_99.gp"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "fig_99_frontier.gp"));
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace amdmb

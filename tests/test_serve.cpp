@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "adapt/refiner.hpp"
 #include "common/status.hpp"
 #include "fault/fault.hpp"
 #include "kerncap/characterize.hpp"
@@ -132,6 +133,39 @@ TEST(ServeProtocol, EventSerializersRoundTrip) {
   e = ParseEvent(SerializeDrained(12));
   EXPECT_EQ(e.type, EventType::kDrained);
   EXPECT_EQ(e.body.NumberOr("completed", 0.0), 12.0);
+}
+
+TEST(ServeProtocol, AdaptiveFlagRoundTripsAndStaysOffDenseWires) {
+  Request request;
+  request.op = Request::Op::kSubmit;
+  request.figure = "fig_7";
+  // Dense requests serialize without the key at all, so request lines
+  // from pre-adaptive clients stay byte-identical.
+  EXPECT_EQ(SerializeRequest(request).find("adaptive"), std::string::npos);
+  EXPECT_FALSE(ParseRequest(SerializeRequest(request)).adaptive);
+
+  request.adaptive = true;
+  const Request back = ParseRequest(SerializeRequest(request));
+  EXPECT_TRUE(back.adaptive);
+
+  Request characterize;
+  characterize.op = Request::Op::kCharacterize;
+  characterize.il = "il_ps_2_0\nend\n";
+  characterize.adaptive = true;
+  EXPECT_TRUE(ParseRequest(SerializeRequest(characterize)).adaptive);
+}
+
+TEST(ServeProtocol, RefineEventRoundTrips) {
+  const Event e =
+      ParseEvent(SerializeRefine(9, "4870 Pixel Float", 2, 3, 9, 32));
+  EXPECT_EQ(e.type, EventType::kRefine);
+  EXPECT_EQ(e.body.NumberOr("request", 0.0), 9.0);
+  EXPECT_EQ(e.body.StringOr("curve", ""), "4870 Pixel Float");
+  EXPECT_EQ(e.body.NumberOr("wave", -1.0), 2.0);
+  EXPECT_EQ(e.body.NumberOr("points", -1.0), 3.0);
+  EXPECT_EQ(e.body.NumberOr("spent", -1.0), 9.0);
+  EXPECT_EQ(e.body.NumberOr("dense", -1.0), 32.0);
+  EXPECT_EQ(ToString(EventType::kRefine), "refine");
 }
 
 TEST(ServeProtocol, NamesEveryErrorKind) {
@@ -644,6 +678,50 @@ TEST(ServeServer, QuickFlagComesFromTheRequestNotTheEnvironment) {
   EXPECT_NE(quick_json, full_json);  // The full sweep has an extra point.
   EXPECT_NE(quick_json.find("\"quick\": true"), std::string::npos);
   EXPECT_NE(full_json.find("\"quick\": false"), std::string::npos);
+  server.Drain();
+}
+
+TEST(ServeServer, AdaptiveSubmitStreamsRefineEventsAndMatchesDirectBuild) {
+  // Real registry: the synthetic test figures ignore opts.adaptive, so
+  // this runs the smallest real figure adaptively at quick scale.
+  ServerConfig config;
+  config.socket_path = TestSocketPath("adaptive");
+  Server server(config);
+  server.Start();
+
+  adapt::Settings settings;  // Matches the daemon's env-default snapshot.
+  RunOptions opts;
+  opts.quick = true;
+  opts.adaptive = &settings;
+  const suite::figures::FigureDef* def = suite::figures::Find("fig_7");
+  ASSERT_NE(def, nullptr);
+  const std::string expected =
+      report::BenchJson(suite::figures::Build(*def, opts));
+
+  Client client = Client::Connect(config.socket_path);
+  std::size_t refines = 0;
+  const Event done = client.Submit(
+      "fig_7", /*quick=*/true, /*adaptive=*/true, /*priority=*/0,
+      [&](const Event& event) {
+        if (event.type == EventType::kRefine) {
+          ++refines;
+          EXPECT_FALSE(event.body.StringOr("curve", "").empty());
+          EXPECT_GT(event.body.NumberOr("dense", 0.0), 0.0);
+        }
+      });
+  ASSERT_EQ(done.type, EventType::kDone);
+  // Served adaptive documents are byte-identical to a direct adaptive
+  // build, and the stream carried at least one refine wave per curve.
+  EXPECT_EQ(done.body.StringOr("figure_json", ""), expected);
+  EXPECT_GE(refines, def->curves.size());
+  EXPECT_NE(done.body.StringOr("figure_json", "").find("\"adaptive\": true"),
+            std::string::npos);
+
+  // A dense submit through the same daemon stays dense.
+  const Event dense = client.Submit("fig_7", true, 0);
+  ASSERT_EQ(dense.type, EventType::kDone);
+  EXPECT_EQ(dense.body.StringOr("figure_json", "").find("\"adaptive\""),
+            std::string::npos);
   server.Drain();
 }
 

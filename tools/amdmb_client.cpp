@@ -1,12 +1,12 @@
 // amdmb_client — CLI for the amdmb_serve daemon.
 //
 // Verbs:
-//   submit <figure> [--quick] [--priority N] [--quiet]
+//   submit <figure> [--quick] [--adaptive] [--priority N] [--quiet]
 //       Submits one figure, streams progress/point events to stderr,
 //       and prints the returned schema-v2 figure document (byte-
 //       identical to the bench binary's BENCH_<slug>.json) to stdout.
 //       Exit 0 done, 3 rejected (e.g. overloaded), 1 error.
-//   characterize <file|-> [--quick] [--priority N] [--quiet]
+//   characterize <file|-> [--quick] [--adaptive] [--priority N] [--quiet]
 //       Reads kernel IL text from the file (or stdin with "-") and
 //       submits it for characterization. Static per-arch analysis and
 //       sweep progress stream to stderr; the figure document prints to
@@ -52,8 +52,10 @@ using namespace amdmb;
 int Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " <verb> [options]\n"
-      << "  submit <figure> [--quick] [--priority N] [--quiet]\n"
-      << "  characterize <file|-> [--quick] [--priority N] [--quiet]\n"
+      << "  submit <figure> [--quick] [--adaptive] [--priority N]\n"
+      << "         [--quiet]\n"
+      << "  characterize <file|-> [--quick] [--adaptive] [--priority N]\n"
+      << "         [--quiet]\n"
       << "  stats\n"
       << "  drain\n"
       << "  bench [--requests N] [--concurrency K] [--seed S] [--full]\n"
@@ -81,13 +83,18 @@ std::uint64_t ParseCount(const char* flag, const std::string& text) {
 }
 
 int RunSubmit(serve::Client& client, const std::string& figure, bool quick,
-              int priority, bool quiet) {
+              bool adaptive, int priority, bool quiet) {
   const serve::Event final_event = client.Submit(
-      figure, quick, priority, [quiet](const serve::Event& event) {
+      figure, quick, adaptive, priority, [quiet](const serve::Event& event) {
         if (quiet) return;
         if (event.type == serve::EventType::kAccepted) {
           std::cerr << "accepted as request "
                     << event.body.NumberOr("request", 0.0) << "\n";
+        } else if (event.type == serve::EventType::kRefine) {
+          std::cerr << "refine " << event.body.StringOr("curve", "?")
+                    << ": wave " << event.body.NumberOr("wave", 0.0)
+                    << ", spent " << event.body.NumberOr("spent", 0.0)
+                    << "/" << event.body.NumberOr("dense", 0.0) << "\n";
         } else if (event.type == serve::EventType::kProgress) {
           std::cerr << "curve " << (event.body.NumberOr("index", 0.0) + 1)
                     << "/" << event.body.NumberOr("count", 0.0) << ": "
@@ -144,6 +151,11 @@ void StreamCharacterizeEvent(const serve::Event& event, bool quiet) {
               << event.body.NumberOr("gpr_count", 0.0) << ", wavefronts "
               << event.body.NumberOr("resident_wavefronts", 0.0) << ", "
               << event.body.StringOr("bound", "?") << "\n";
+  } else if (event.type == serve::EventType::kRefine) {
+    std::cerr << "refine " << event.body.StringOr("curve", "?") << ": wave "
+              << event.body.NumberOr("wave", 0.0) << ", spent "
+              << event.body.NumberOr("spent", 0.0) << "/"
+              << event.body.NumberOr("dense", 0.0) << "\n";
   } else if (event.type == serve::EventType::kProgress) {
     std::cerr << "curve " << (event.body.NumberOr("index", 0.0) + 1) << "/"
               << event.body.NumberOr("count", 0.0) << ": "
@@ -179,8 +191,8 @@ int FinishCharacterize(const serve::Event& final_event, bool quiet) {
 }
 
 int RunCharacterize(const std::string& socket_path, unsigned retries,
-                    const std::string& path, bool quick, int priority,
-                    bool quiet) {
+                    const std::string& path, bool quick, bool adaptive,
+                    int priority, bool quiet) {
   const std::string il = ReadIlSource(path);
   // The oversize verdict must come back before any connect: the daemon
   // would only ever answer such a line with a protocol error.
@@ -190,7 +202,7 @@ int RunCharacterize(const std::string& socket_path, unsigned retries,
   }
   serve::Client client = serve::Client::Connect(socket_path, retries);
   const serve::Event final_event = client.Characterize(
-      il, quick, priority, [quiet](const serve::Event& event) {
+      il, quick, adaptive, priority, [quiet](const serve::Event& event) {
         StreamCharacterizeEvent(event, quiet);
       });
   return FinishCharacterize(final_event, quiet);
@@ -231,6 +243,7 @@ int main(int argc, char** argv) {
     std::string verb;
     std::string figure;
     bool quick = false;
+    bool adaptive = false;
     bool quiet = false;
     int priority = 0;
     serve::LoadGenOptions load;
@@ -243,6 +256,8 @@ int main(int argc, char** argv) {
         socket_path = argv[++i];
       } else if (arg == "--quick") {
         quick = true;
+      } else if (arg == "--adaptive") {
+        adaptive = true;
       } else if (arg == "--full") {
         load.quick = false;
       } else if (arg == "--quiet") {
@@ -281,7 +296,7 @@ int main(int argc, char** argv) {
     if (verb == "characterize") {
       if (figure.empty()) return Usage(argv[0]);
       return RunCharacterize(socket_path, load.connect_retries, figure,
-                             quick, priority, quiet);
+                             quick, adaptive, priority, quiet);
     }
 
     if (verb == "bench") {
@@ -297,7 +312,7 @@ int main(int argc, char** argv) {
         serve::Client::Connect(socket_path, load.connect_retries);
     if (verb == "submit") {
       if (figure.empty()) return Usage(argv[0]);
-      return RunSubmit(client, figure, quick, priority, quiet);
+      return RunSubmit(client, figure, quick, adaptive, priority, quiet);
     }
     if (verb == "stats") return RunStats(client);
     if (verb == "drain") {
